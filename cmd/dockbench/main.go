@@ -1,0 +1,32 @@
+// Command dockbench regenerates the paper's evaluation artifacts:
+// Tables 1-3 and Figures 5-11 of "Exploring Large Scale
+// Receptor-Ligand Pairs in Molecular Docking Workflows in HPC Clouds"
+// (IPPS 2014).
+//
+//	dockbench -exp all          # every table and figure (minutes)
+//	dockbench -exp f7           # the TET scalability curve
+//	dockbench -exp t3 -quick    # reduced workload (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11 or all")
+		quick = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
+	)
+	flag.Parse()
+	s := &experiments.Suite{Quick: *quick}
+	out, err := s.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dockbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

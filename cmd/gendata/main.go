@@ -1,0 +1,89 @@
+// Command gendata materializes the synthetic Peptidase_CA workload on
+// disk: one PDB per receptor and one SDF per ligand of Table 2,
+// exactly the inputs SciDock consumes. Useful for inspecting the
+// substitution dataset (DESIGN.md §2) or feeding the files to
+// external tools.
+//
+//	gendata -out ./dataset            # all 238 receptors + 42 ligands
+//	gendata -out ./dataset -receptors 5 -ligands 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chem/formats"
+	"repro/internal/data"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "dataset", "output directory")
+		receptors = flag.Int("receptors", len(data.ReceptorCodes), "number of receptors to write")
+		ligands   = flag.Int("ligands", len(data.LigandCodes), "number of ligands to write")
+	)
+	flag.Parse()
+	if err := run(*out, *receptors, *ligands); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, receptors, ligands int) error {
+	ds, err := data.Small(receptors, ligands)
+	if err != nil {
+		return err
+	}
+	recDir := filepath.Join(out, "receptors")
+	ligDir := filepath.Join(out, "ligands")
+	for _, dir := range []string{recDir, ligDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, code := range ds.Receptors {
+		mol, info := data.GenerateReceptor(code)
+		f, err := os.Create(filepath.Join(recDir, code+".pdb"))
+		if err != nil {
+			return err
+		}
+		if err := formats.WritePDB(f, mol); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		note := ""
+		if info.ContainsHg {
+			note = "  [contains Hg]"
+		}
+		fmt.Printf("receptor %s: %d atoms, %d residues, class %s%s\n",
+			code, mol.NumAtoms(), info.Residues, info.Class, note)
+	}
+	for _, code := range ds.Ligands {
+		mol, info := data.GenerateLigand(code)
+		f, err := os.Create(filepath.Join(ligDir, code+".sdf"))
+		if err != nil {
+			return err
+		}
+		if err := formats.WriteSDF(f, mol); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		note := ""
+		if info.Problematic {
+			note = "  [problematic]"
+		}
+		fmt.Printf("ligand %s: %d atoms (%d heavy)%s\n",
+			code, mol.NumAtoms(), mol.HeavyAtomCount(), note)
+	}
+	fmt.Printf("wrote %d receptors and %d ligands under %s\n",
+		len(ds.Receptors), len(ds.Ligands), out)
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chem/formats"
+)
+
+func TestGendataWritesParsableFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := filepath.Glob(filepath.Join(dir, "receptors", "*.pdb"))
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("receptor files = %d, %v", len(recs), err)
+	}
+	ligs, err := filepath.Glob(filepath.Join(dir, "ligands", "*.sdf"))
+	if err != nil || len(ligs) != 2 {
+		t.Fatalf("ligand files = %d, %v", len(ligs), err)
+	}
+	// Every emitted file parses back with our own readers.
+	for _, p := range recs {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := formats.ParsePDB(f, filepath.Base(p)); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+		f.Close()
+	}
+	for _, p := range ligs {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := formats.ParseSDF(f, filepath.Base(p)); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+		f.Close()
+	}
+}
+
+func TestGendataValidation(t *testing.T) {
+	if err := run(t.TempDir(), 0, 1); err == nil {
+		t.Error("zero receptors accepted")
+	}
+}

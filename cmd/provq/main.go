@@ -1,0 +1,128 @@
+// Command provq runs a SciDock campaign and then serves an
+// interactive SQL prompt over its provenance database — the
+// "runtime provenance query" workflow of §IV.B, including the
+// paper's Query 1 and Query 2 as shortcuts.
+//
+//	provq -receptors 10 -ligands 2
+//	> \q1
+//	> SELECT receptor, ligand, feb FROM ddocking WHERE feb < 0 ORDER BY feb LIMIT 5
+//	> \tables
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/prov"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		receptors = flag.Int("receptors", 10, "receptors from Table 2")
+		ligands   = flag.Int("ligands", 2, "ligands from Table 2")
+		cores     = flag.Int("cores", 16, "virtual cores")
+		queryFlag = flag.String("q", "", "run one query and exit (no prompt)")
+		saveFlag  = flag.String("save", "", "archive the provenance database to this file after the run")
+		loadFlag  = flag.String("load", "", "query an archived database instead of running a campaign")
+	)
+	flag.Parse()
+	if err := run(*receptors, *ligands, *cores, *queryFlag, *saveFlag, *loadFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "provq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(receptors, ligands, cores int, oneQuery, savePath, loadPath string) error {
+	var db *prov.DB
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		db, err = prov.LoadDB(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded archived provenance from %s. Tables: %s\n",
+			loadPath, strings.Join(db.TableNames(), ", "))
+	} else {
+		ds, err := data.Small(receptors, ligands)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("running SciDock over %d pairs to populate the provenance database...\n", ds.NumPairs())
+		camp, err := core.Run(core.Config{
+			Mode: core.ModeAD4, Dataset: ds, Cores: cores,
+			Effort: core.SmokeEffort(), HgGuard: true, Seed: 99,
+		})
+		if err != nil {
+			return err
+		}
+		db = camp.Engine.DB
+		fmt.Printf("done: TET %s, %d activations. Tables: %s\n",
+			stats.FormatDuration(camp.TET()), camp.Reports[0].Activations,
+			strings.Join(db.TableNames(), ", "))
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		if err := db.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("provenance archived to %s (long-term analysis per §V.D)\n", savePath)
+	}
+
+	exec := func(sql string) {
+		res, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.Format())
+	}
+
+	if oneQuery != "" {
+		res, err := db.Query(oneQuery)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		return nil
+	}
+
+	fmt.Println(`enter SQL (or \q1 for the paper's Query 1, \q2 for Query 2, \tables, \quit):`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return nil
+		case line == `\tables`:
+			fmt.Println(strings.Join(db.TableNames(), "\n"))
+		case line == `\q1`:
+			exec(experiments.Query1SQL)
+		case line == `\q2`:
+			exec(experiments.Query2SQL)
+		default:
+			exec(line)
+		}
+		fmt.Print("> ")
+	}
+	return sc.Err()
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOneQuery(t *testing.T) {
+	if err := run(2, 1, 4, "SELECT count(*) FROM hactivation", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveThenLoad(t *testing.T) {
+	dir := t.TempDir()
+	archive := filepath.Join(dir, "campaign.provdb")
+	if err := run(2, 1, 4, "SELECT count(*) FROM hworkflow", archive, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(archive); err != nil {
+		t.Fatalf("archive not written: %v", err)
+	}
+	// Query the archive without re-running the campaign.
+	if err := run(0, 0, 0, "SELECT count(*) FROM ddocking", "", archive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 1, 4, "SELECT 1 FROM hworkflow", "", ""); err == nil {
+		t.Error("zero receptors accepted")
+	}
+	if err := run(2, 1, 4, "", "", "/nonexistent/archive"); err == nil {
+		t.Error("missing archive accepted")
+	}
+	if err := run(2, 1, 4, "BROKEN SQL", "", ""); err == nil {
+		t.Error("broken SQL accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Command scidock runs the SciDock molecular-docking virtual
+// screening workflow end-to-end on the simulated HPC cloud and
+// reports the execution summary, Table-3-style docking statistics and
+// optional provenance queries.
+//
+// Examples:
+//
+//	scidock -mode ad4 -receptors 20 -ligands 4 -cores 32
+//	scidock -mode adaptive -receptors 50 -ligands 8 -cores 64 -effort campaign
+//	scidock -mode vina -receptors 10 -ligands 2 -query "SELECT count(*) FROM ddocking"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "ad4", "docking mode: ad4, vina or adaptive")
+		receptors = flag.Int("receptors", 10, "number of receptors from Table 2 (1-238)")
+		ligands   = flag.Int("ligands", 2, "number of ligands from Table 2 (1-42)")
+		cores     = flag.Int("cores", 16, "virtual worker cores (the paper used 2-128)")
+		effort    = flag.String("effort", "campaign", "docking effort preset: smoke, campaign or quick")
+		seed      = flag.Int64("seed", 2014, "campaign seed")
+		hgGuard   = flag.Bool("hgguard", true, "enable the Hg steering guard of §V.C")
+		failures  = flag.Bool("failures", true, "inject ~10% transient activation failures")
+		monitor   = flag.Bool("monitor", false, "print runtime-steering snapshots after each stage")
+		query     = flag.String("query", "", "SQL to run against the provenance database afterwards")
+	)
+	flag.Parse()
+
+	if err := run(*mode, *receptors, *ligands, *cores, *effort, *seed, *hgGuard, *failures, *monitor, *query); err != nil {
+		fmt.Fprintln(os.Stderr, "scidock:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode string, receptors, ligands, cores int, effort string, seed int64, hgGuard, failures, monitor bool, query string) error {
+	ds, err := data.Small(receptors, ligands)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Dataset: ds, Cores: cores, Seed: seed,
+		HgGuard: hgGuard, DisableFailures: !failures,
+	}
+	if monitor {
+		// Runtime steering (§IV.B): after each stage, query the live
+		// provenance database for failures so the scientist can react
+		// before the workflow ends.
+		cfg.OnStageComplete = func(ev engine.StageEvent) {
+			res, err := ev.Engine.DB.Query(
+				"SELECT count(*) FROM hactivation WHERE status = 'ABORTED' OR status = 'FAILED'")
+			problems := "?"
+			if err == nil {
+				problems = fmt.Sprintf("%v", res.Rows[0][0])
+			}
+			fmt.Printf("  [steering] stage %-14s done at +%s: %d activations, %d retries, problem activations so far: %s\n",
+				ev.Activity, stats.FormatDuration(ev.Clock), ev.Stats.Activations,
+				ev.Stats.Failures, problems)
+		}
+	}
+	switch mode {
+	case "ad4":
+		cfg.Mode = core.ModeAD4
+	case "vina":
+		cfg.Mode = core.ModeVina
+	case "adaptive":
+		cfg.Mode = core.ModeAdaptive
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	switch effort {
+	case "smoke":
+		cfg.Effort = core.SmokeEffort()
+	case "campaign":
+		cfg.Effort = core.CampaignEffort()
+	case "quick":
+		cfg.Effort = core.QuickEffort()
+	default:
+		return fmt.Errorf("unknown effort %q", effort)
+	}
+
+	fmt.Printf("SciDock %s: %d receptors × %d ligands = %d pairs on %d cores\n",
+		cfg.Mode, receptors, ligands, ds.NumPairs(), cores)
+	camp, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	for _, rep := range camp.Reports {
+		fmt.Printf("\nworkflow %d: TET %s, %d activations, %d transient failures recovered, %d aborted\n",
+			rep.WorkflowID, stats.FormatDuration(rep.TET), rep.Activations, rep.Failures, rep.Aborted)
+		for _, a := range rep.PerActivity {
+			fmt.Printf("  %-14s n=%-5d failures=%-3d stage=%s\n",
+				a.Tag, a.Activations, a.Failures, stats.FormatDuration(a.StageSecs))
+		}
+	}
+	fmt.Printf("\ncampaign TET: %s   simulated EC2 bill: $%.2f   shared FS: %d bytes\n",
+		stats.FormatDuration(camp.TET()), camp.Engine.Cluster.Cost(), camp.Engine.FS.TotalBytes())
+
+	rows, err := core.Table3(camp.Engine.DB, ds.Ligands)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nDocking statistics (Table 3 layout):")
+	fmt.Print(core.FormatTable3(rows))
+	top, err := core.TopInteractions(camp.Engine.DB, 3)
+	if err != nil {
+		return err
+	}
+	if len(top) > 0 {
+		fmt.Println("best interactions:")
+		for _, t := range top {
+			fmt.Println("  " + t)
+		}
+	}
+
+	if query != "" {
+		res, err := camp.Engine.DB.Query(query)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\n" + res.Format())
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Elastic: demonstrates SciCumulus' adaptive cloud execution (§IV.B):
+// the engine resizes the virtual EC2 fleet per stage — small fleets
+// for the light preparation activities, a large fleet for the
+// compute-intensive docking stage — and compares TET and bill against
+// a static fleet.
+//
+//	go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func main() {
+	ds := data.Dataset{
+		Receptors: data.ReceptorCodes[:40],
+		Ligands:   data.LigandCodes[:6],
+	}
+	fmt.Printf("workload: %d pairs\n\n", ds.NumPairs())
+
+	base := core.Config{
+		Mode: core.ModeAD4, Dataset: ds, Cores: 8,
+		Effort: core.SmokeEffort(), Seed: 21, HgGuard: true,
+	}
+
+	// Static fleet: 8 cores for the whole run.
+	static, err := core.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adaptive fleet: between 4 and 64 cores, sized per stage load.
+	policy := sched.NewAdaptivePolicy()
+	policy.MinCores = 4
+	policy.MaxCores = 64
+	policy.TargetStageSeconds = 1800
+	adaptiveCfg := base
+	adaptiveCfg.Adaptive = policy
+	adaptive, err := core.Run(adaptiveCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %14s %12s %8s\n", "fleet", "TET", "bill (USD)", "VMs")
+	fmt.Printf("%-10s %14s %12.2f %8d\n", "static",
+		stats.FormatDuration(static.TET()), static.Engine.Cluster.Cost(),
+		len(static.Engine.Cluster.VMs()))
+	fmt.Printf("%-10s %14s %12.2f %8d\n", "adaptive",
+		stats.FormatDuration(adaptive.TET()), adaptive.Engine.Cluster.Cost(),
+		len(adaptive.Engine.Cluster.VMs()))
+
+	fmt.Println("\nadaptive per-stage profile (fleet sized to each activity's load):")
+	for _, a := range adaptive.Reports[0].PerActivity {
+		fmt.Printf("  %-14s activations=%-5d stage=%s\n",
+			a.Tag, a.Activations, stats.FormatDuration(a.StageSecs))
+	}
+
+	if adaptive.TET() < static.TET() {
+		fmt.Println("\nadaptive execution finished earlier by scaling up for the docking stage.")
+	} else {
+		fmt.Println("\nstatic fleet won here; adaptive pays boot latency on every scale-up.")
+	}
+}

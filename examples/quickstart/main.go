@@ -1,0 +1,89 @@
+// Quickstart: dock a single receptor-ligand pair — the 2HHN-0E6
+// complex the paper's Figure 12 visualizes — with both docking
+// engines, and print the resulting binding statistics and DLG log.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/prep"
+	"repro/internal/stats"
+)
+
+func main() {
+	// The paper's headline complex: Cathepsin S (2HHN) with the
+	// arylaminoethyl amide ligand 0E6.
+	ds := data.Dataset{Receptors: []string{"2HHN"}, Ligands: []string{"0E6"}}
+
+	for _, mode := range []core.Mode{core.ModeAD4, core.ModeVina} {
+		camp, err := core.Run(core.Config{
+			Mode:    mode,
+			Dataset: ds,
+			Cores:   4,
+			Effort:  core.QuickEffort(),
+			Seed:    2014,
+			HgGuard: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := camp.Reports[0]
+		fmt.Printf("=== SciDock with %s ===\n", strings.ToUpper(mode.String()))
+		fmt.Printf("virtual TET: %s over %d activations (%d transient failures recovered)\n",
+			stats.FormatDuration(rep.TET), rep.Activations, rep.Failures)
+
+		// Mine the docking result from provenance, as §V.D does.
+		res, err := camp.Engine.DB.Query(
+			"SELECT receptor, ligand, feb, rmsd, nruns FROM ddocking")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Format())
+
+		// The DLG file is on the shared file system; show its head.
+		files, err := camp.Engine.FS.List("/root/exp_SciDock")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range files {
+			if !strings.HasSuffix(f, ".dlg") {
+				continue
+			}
+			content, _, err := camp.Engine.FS.Read(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lines := strings.SplitN(string(content), "\n", 12)
+			fmt.Printf("\n%s:\n%s\n...\n\n", f, strings.Join(lines[:min(11, len(lines))], "\n"))
+		}
+	}
+
+	// Figure 12: export the receptor with the best docked pose as one
+	// PDB for molecular viewers.
+	out, err := os.Create("2HHN_0E6_complex.pdb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	res, err := core.ExportComplex(out, core.Config{Effort: core.QuickEffort(), Seed: 2014},
+		prep.ProgramAD4, "2HHN", "0E6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote 2HHN_0E6_complex.pdb: %d atoms, best FEB %.2f kcal/mol (Figure 12)\n",
+		res.Atoms, res.FEB)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/prov"
+)
+
+func seededDB(t *testing.T) *prov.DB {
+	t.Helper()
+	db, err := prov.NewProvWfDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 pairs docked by both programs + 1 AD4-only.
+	rows := []struct {
+		rec, lig, prog string
+		feb            float64
+	}{
+		{"2HHN", "0E6", "autodock4", -7.2},
+		{"2HHN", "0E6", "vina", -5.2},
+		{"1S4V", "0D6", "autodock4", -6.0},
+		{"1S4V", "0D6", "vina", -4.9},
+		{"1HUC", "0D6", "autodock4", 2.0},
+		{"1HUC", "0D6", "vina", -1.0},
+		{"1AEC", "042", "autodock4", 5.5},
+		{"1AEC", "042", "vina", 3.0},
+		{"9PAP", "074", "autodock4", -0.5},
+	}
+	for i, r := range rows {
+		if err := db.InsertDocking(int64(i+1), 1, r.rec, r.lig, r.prog, r.feb, 10, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCoverageReport(t *testing.T) {
+	db := seededDB(t)
+	cs, err := CoverageReport(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("programs = %d", len(cs))
+	}
+	byProg := map[string]Coverage{}
+	for _, c := range cs {
+		byProg[c.Program] = c
+	}
+	ad4 := byProg["autodock4"]
+	if ad4.Docked != 5 || ad4.Favourable != 3 || ad4.Complementary != 2 {
+		t.Errorf("ad4 coverage = %+v", ad4)
+	}
+	if math.Abs(ad4.BestFEB+7.2) > 1e-9 {
+		t.Errorf("ad4 best = %v", ad4.BestFEB)
+	}
+	vina := byProg["vina"]
+	if vina.Docked != 4 || vina.Favourable != 3 {
+		t.Errorf("vina coverage = %+v", vina)
+	}
+	out := FormatCoverage(cs)
+	if !strings.Contains(out, "complementary") || !strings.Contains(out, "autodock4") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestConsensusReport(t *testing.T) {
+	db := seededDB(t)
+	c, err := ConsensusReport(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CommonPairs != 4 {
+		t.Fatalf("common pairs = %d", c.CommonPairs)
+	}
+	if c.BothFav != 2 || c.OnlyAD4 != 0 || c.OnlyVina != 1 || c.Neither != 1 {
+		t.Errorf("consensus = %+v", c)
+	}
+	if math.Abs(c.Agreement-0.75) > 1e-9 {
+		t.Errorf("agreement = %v", c.Agreement)
+	}
+	// FEB orderings agree on these 4 pairs → rho 1.0.
+	if math.Abs(c.Spearman-1.0) > 1e-9 {
+		t.Errorf("spearman = %v", c.Spearman)
+	}
+	out := FormatConsensus(c)
+	if !strings.Contains(out, "Spearman") {
+		t.Errorf("format:\n%s", out)
+	}
+	// Empty DB: no common pairs.
+	empty, _ := prov.NewProvWfDB()
+	c2, err := ConsensusReport(empty)
+	if err != nil || c2.CommonPairs != 0 {
+		t.Errorf("empty consensus = %+v, %v", c2, err)
+	}
+	if !strings.Contains(FormatConsensus(c2), "no pairs") {
+		t.Error("empty consensus format")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Perfect monotone increasing.
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("increasing rho = %v", got)
+	}
+	// Perfect monotone decreasing.
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("decreasing rho = %v", got)
+	}
+	// Non-linear but monotone still rho=1 (rank-based).
+	if got := Spearman([]float64{1, 2, 3}, []float64{1, 100, 10000}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone rho = %v", got)
+	}
+	// Ties handled via average ranks: still well-defined.
+	got := Spearman([]float64{1, 1, 2, 3}, []float64{5, 5, 6, 7})
+	if got < 0.9 {
+		t.Errorf("tied rho = %v", got)
+	}
+	// Degenerate inputs.
+	if Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Error("single sample should be 0")
+	}
+	if Spearman([]float64{1, 2}, []float64{3}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if Spearman([]float64{5, 5, 5}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant sample should be 0")
+	}
+}
+
+func TestTopReceptors(t *testing.T) {
+	db := seededDB(t)
+	hits, err := TopReceptors(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	// 2HHN and 1S4V both have 2 favourable rows; 2HHN's best is
+	// deeper so it ranks first.
+	if hits[0].Receptor != "2HHN" || hits[0].Hits != 2 {
+		t.Errorf("top hit = %+v", hits[0])
+	}
+	if hits[1].Receptor != "1S4V" {
+		t.Errorf("second hit = %+v", hits[1])
+	}
+	all, err := TopReceptors(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 { // 2HHN, 1S4V, 1HUC(vina), 9PAP
+		t.Errorf("all hits = %d", len(all))
+	}
+}

@@ -1,0 +1,160 @@
+package chem
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecApprox(a, b Vec3, tol float64) bool {
+	return approx(a.X, b.X, tol) && approx(a.Y, b.Y, tol) && approx(a.Z, b.Z, tol)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(-4, 5, 0.5)
+	if got := a.Add(b); !vecApprox(got, V(-3, 7, 3.5), eps) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !vecApprox(got, V(5, -3, 2.5), eps) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !vecApprox(got, V(2, 4, 6), eps) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); !approx(got, -4+10+1.5, eps) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Neg(); !vecApprox(got, V(-1, -2, -3), eps) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestVecCrossOrthogonal(t *testing.T) {
+	a := V(1, 0, 0)
+	b := V(0, 1, 0)
+	if got := a.Cross(b); !vecApprox(got, V(0, 0, 1), eps) {
+		t.Fatalf("x cross y = %v, want z", got)
+	}
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(ax, ay, az)
+		b := V(bx, by, bz)
+		c := a.Cross(b)
+		return approx(c.Dot(a), 0, 1e-6*(1+a.Norm2()*b.Norm2())) &&
+			approx(c.Dot(b), 0, 1e-6*(1+a.Norm2()*b.Norm2()))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1)), Values: smallVecPair}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// smallVecPair generates bounded float arguments to keep floating
+// point comparisons meaningful.
+func smallVecPair(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(r.Float64()*20 - 10)
+	}
+}
+
+func TestVecNormDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if !approx(v.Norm(), 5, eps) {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if !approx(v.Norm2(), 25, eps) {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	w := V(0, 0, 0)
+	if !approx(v.Dist(w), 5, eps) {
+		t.Errorf("Dist = %v", v.Dist(w))
+	}
+	if !approx(v.Dist2(w), 25, eps) {
+		t.Errorf("Dist2 = %v", v.Dist2(w))
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	v := V(0, 0, 7)
+	if got := v.Unit(); !vecApprox(got, V(0, 0, 1), eps) {
+		t.Errorf("Unit = %v", got)
+	}
+	z := Vec3{}
+	if got := z.Unit(); !vecApprox(got, z, eps) {
+		t.Errorf("Unit(0) = %v, want zero", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(2, 4, 6)
+	if got := a.Lerp(b, 0.5); !vecApprox(got, V(1, 2, 3), eps) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); !vecApprox(got, a, eps) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !vecApprox(got, b, eps) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	if got := V(1, 0, 0).Angle(V(0, 1, 0)); !approx(got, math.Pi/2, eps) {
+		t.Errorf("angle = %v, want pi/2", got)
+	}
+	if got := V(1, 0, 0).Angle(V(-2, 0, 0)); !approx(got, math.Pi, eps) {
+		t.Errorf("angle = %v, want pi", got)
+	}
+	if got := V(1, 1, 0).Angle(V(2, 2, 0)); !approx(got, 0, 1e-7) {
+		t.Errorf("angle = %v, want 0", got)
+	}
+	// Degenerate zero vector does not NaN.
+	if got := (Vec3{}).Angle(V(1, 0, 0)); got != 0 {
+		t.Errorf("zero-vector angle = %v", got)
+	}
+}
+
+func TestDihedral(t *testing.T) {
+	// Classic trans (180°) butane-like arrangement.
+	a := V(0, 1, 0)
+	b := V(0, 0, 0)
+	c := V(1, 0, 0)
+	d := V(1, -1, 0)
+	if got := math.Abs(Dihedral(a, b, c, d)); !approx(got, math.Pi, 1e-6) {
+		t.Errorf("trans dihedral = %v, want pi", got)
+	}
+	// Cis (0°).
+	d2 := V(1, 1, 0)
+	if got := Dihedral(a, b, c, d2); !approx(got, 0, 1e-6) {
+		t.Errorf("cis dihedral = %v, want 0", got)
+	}
+	// +90°.
+	d3 := V(1, 0, 1)
+	if got := math.Abs(Dihedral(a, b, c, d3)); !approx(got, math.Pi/2, 1e-6) {
+		t.Errorf("perpendicular dihedral = %v, want pi/2", got)
+	}
+}
+
+func TestCentroidAndBounds(t *testing.T) {
+	pts := []Vec3{V(0, 0, 0), V(2, 2, 2), V(4, -2, 1)}
+	if got := Centroid(pts); !vecApprox(got, V(2, 0, 1), eps) {
+		t.Errorf("Centroid = %v", got)
+	}
+	min, max := BoundingBox(pts)
+	if !vecApprox(min, V(0, -2, 0), eps) || !vecApprox(max, V(4, 2, 2), eps) {
+		t.Errorf("BoundingBox = %v %v", min, max)
+	}
+	if got := Centroid(nil); !vecApprox(got, Vec3{}, eps) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	min, max = BoundingBox(nil)
+	if min != (Vec3{}) || max != (Vec3{}) {
+		t.Errorf("BoundingBox(nil) = %v %v", min, max)
+	}
+}

@@ -1,0 +1,244 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(5, func() { got = append(got, 2) })
+	s.After(1, func() { got = append(got, 1) })
+	s.After(9, func() { got = append(got, 3) })
+	end := s.Run()
+	if end != 9 {
+		t.Errorf("end time = %v", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestSimSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var times []float64
+	s.After(2, func() {
+		times = append(times, s.Now())
+		s.After(3, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 2 || times[1] != 5 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestSimPastAndNegative(t *testing.T) {
+	s := NewSim()
+	s.After(10, func() {
+		// Scheduling in the past clamps to now.
+		s.At(3, func() {
+			if s.Now() != 10 {
+				t.Errorf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.After(-5, func() {}) // clamps to 0
+	s.Run()
+}
+
+func TestSimStep(t *testing.T) {
+	s := NewSim()
+	n := 0
+	s.After(1, func() { n++ })
+	s.After(2, func() { n++ })
+	if !s.Step() || n != 1 || s.Pending() != 1 {
+		t.Errorf("step 1: n=%d pending=%d", n, s.Pending())
+	}
+	if !s.Step() || n != 2 {
+		t.Errorf("step 2: n=%d", n)
+	}
+	if s.Step() {
+		t.Error("step on empty queue succeeded")
+	}
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	if M3XLarge.Cores != 4 || M32XLarge.Cores != 8 {
+		t.Error("core counts differ from Table 1")
+	}
+	if M3XLarge.Processor != "Intel Xeon E5-2670" || M32XLarge.Processor != M3XLarge.Processor {
+		t.Error("processor differs from Table 1")
+	}
+	if len(Catalog()) != 2 {
+		t.Error("catalog size")
+	}
+}
+
+func TestAcquireReleaseAndCost(t *testing.T) {
+	s := NewSim()
+	c := NewCluster(s)
+	vm := c.Acquire(M3XLarge)
+	if !vm.Running() {
+		t.Error("fresh VM not running")
+	}
+	if vm.ReadyAt <= vm.BootAt {
+		t.Error("no boot latency")
+	}
+	// Advance 90 minutes, release: billed 2 hours.
+	s.After(5400, func() {
+		if err := c.Release(vm.ID); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	if vm.Running() {
+		t.Error("VM still running after release")
+	}
+	want := 2 * M3XLarge.HourlyUSD
+	if math.Abs(c.Cost()-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", c.Cost(), want)
+	}
+	if err := c.Release(vm.ID); err == nil {
+		t.Error("double release accepted")
+	}
+	if err := c.Release("i-missing"); err == nil {
+		t.Error("release of unknown VM accepted")
+	}
+}
+
+func TestSpeedHeterogeneityAndDeterminism(t *testing.T) {
+	s := NewSim()
+	c := NewCluster(s)
+	a := c.Acquire(M32XLarge)
+	b := c.Acquire(M32XLarge)
+	if a.Speed(100) != a.Speed(100) {
+		t.Error("speed not deterministic")
+	}
+	// Bounded fluctuation.
+	for _, tm := range []float64{0, 500, 3000, 86400} {
+		sp := a.Speed(tm)
+		if sp < 0.7 || sp > 1.3 {
+			t.Errorf("speed(%v) = %v outside sane band", tm, sp)
+		}
+	}
+	// Different VMs differ at least somewhere (heterogeneity).
+	diff := false
+	for _, tm := range []float64{0, 1000, 2000} {
+		if math.Abs(a.Speed(tm)-b.Speed(tm)) > 1e-6 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("no heterogeneity between VMs")
+	}
+	// Speed varies over time (fluctuation).
+	varies := false
+	for tm := 0.0; tm < 7200 && !varies; tm += 600 {
+		if math.Abs(a.Speed(tm)-a.Speed(0)) > 1e-6 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("no fluctuation over time")
+	}
+}
+
+func TestBuildVirtualCluster(t *testing.T) {
+	cases := []struct {
+		cores     int
+		wantVMs   int
+		wantCores int
+	}{
+		{2, 1, 4}, // one xlarge covers 2 worker cores
+		{4, 1, 4},
+		{8, 1, 8},   // one 2xlarge
+		{16, 2, 16}, // two 2xlarge
+		{32, 4, 32},
+		{128, 16, 128},
+		{12, 2, 12}, // one 2xlarge + one xlarge
+	}
+	for _, cse := range cases {
+		s := NewSim()
+		c := NewCluster(s)
+		vms, err := c.BuildVirtualCluster(cse.cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vms) != cse.wantVMs {
+			t.Errorf("cores=%d: %d VMs, want %d", cse.cores, len(vms), cse.wantVMs)
+		}
+		total := 0
+		for _, vm := range vms {
+			total += vm.Type.Cores
+		}
+		if total < cse.cores {
+			t.Errorf("cores=%d: fleet only has %d cores", cse.cores, total)
+		}
+		if c.TotalCores() != total {
+			t.Errorf("TotalCores = %d, want %d", c.TotalCores(), total)
+		}
+	}
+	s := NewSim()
+	c := NewCluster(s)
+	if _, err := c.BuildVirtualCluster(0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestRunningVMsFiltering(t *testing.T) {
+	s := NewSim()
+	c := NewCluster(s)
+	a := c.Acquire(M3XLarge)
+	c.Acquire(M3XLarge)
+	if err := c.Release(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.RunningVMs()); got != 1 {
+		t.Errorf("running VMs = %d", got)
+	}
+	if got := len(c.VMs()); got != 2 {
+		t.Errorf("all VMs = %d", got)
+	}
+}
+
+func TestCostBillsRunningVMsToNow(t *testing.T) {
+	s := NewSim()
+	c := NewCluster(s)
+	c.Acquire(M32XLarge)
+	// Advance 30 minutes without releasing: billed 1 hour so far.
+	s.After(1800, func() {})
+	s.Run()
+	if got := c.Cost(); math.Abs(got-M32XLarge.HourlyUSD) > 1e-9 {
+		t.Errorf("running cost = %v, want one hour (%v)", got, M32XLarge.HourlyUSD)
+	}
+	// A VM acquired later bills from its own acquisition time.
+	s.After(3600, func() {})
+	s.Run() // now at t=5400
+	late := c.Acquire(M3XLarge)
+	if late.BootAt != 5400 {
+		t.Errorf("late VM BootAt = %v, want 5400", late.BootAt)
+	}
+	s.After(600, func() {})
+	s.Run() // t=6000
+	// First VM: ceil(6000/3600)=2h × 0.9; late VM: ceil(600/3600)=1h × 0.45.
+	want := 2*M32XLarge.HourlyUSD + 1*M3XLarge.HourlyUSD
+	if got := c.Cost(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}

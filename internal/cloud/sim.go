@@ -1,0 +1,108 @@
+// Package cloud simulates the Amazon EC2 virtual cluster of the
+// paper's deployment: the m3 instance catalog (Table 1), VM
+// acquisition with boot latency, per-VM performance heterogeneity and
+// virtualization fluctuations, and hourly cost accounting. A
+// discrete-event simulator provides the virtual clock, so multi-day
+// workflow executions replay in milliseconds of wall time.
+package cloud
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Sim is a discrete-event simulator with a virtual clock in seconds.
+type Sim struct {
+	now    float64
+	queue  eventQueue
+	serial int64
+}
+
+type event struct {
+	at    float64
+	seq   int64 // FIFO tie-break for same-time events
+	fn    func()
+	index int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x interface{}) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewSim returns a simulator at virtual time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.serial++
+	heap.Push(&s.queue, &event{at: t, seq: s.serial, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Run processes events until the queue drains, returning the final
+// virtual time.
+func (s *Sim) Run() float64 {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// Step processes a single event; it reports whether one was available.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// String aids debugging.
+func (s *Sim) String() string {
+	return fmt.Sprintf("sim{t=%.1fs pending=%d}", s.now, s.queue.Len())
+}

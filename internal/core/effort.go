@@ -1,0 +1,66 @@
+package core
+
+import "fmt"
+
+// Effort bundles the search-intensity knobs of the reproduction. The
+// real AutoDock/Vina run orders of magnitude more evaluations; these
+// presets keep 1,000-pair campaigns tractable while preserving the
+// engines' relative behaviour (DESIGN.md §2, substitution 2).
+type Effort struct {
+	// Grid.
+	GridNPts    int     // lattice points per axis
+	GridSpacing float64 // Å
+
+	// AutoDock 4 Lamarckian GA.
+	AD4Runs    int
+	AD4PopSize int
+	AD4Gens    int
+	AD4Evals   int
+
+	// Vina iterated local search.
+	VinaExhaustiveness int
+	VinaSteps          int
+	VinaModes          int
+}
+
+// QuickEffort docks a single pair interactively (quickstart example).
+func QuickEffort() Effort {
+	return Effort{
+		GridNPts: 20, GridSpacing: 1.2,
+		AD4Runs: 10, AD4PopSize: 50, AD4Gens: 30, AD4Evals: 30000,
+		VinaExhaustiveness: 8, VinaSteps: 25, VinaModes: 9,
+	}
+}
+
+// CampaignEffort is the preset for the 952-pair Table 3 regeneration:
+// reduced but statistically meaningful.
+func CampaignEffort() Effort {
+	return Effort{
+		GridNPts: 14, GridSpacing: 1.6,
+		AD4Runs: 4, AD4PopSize: 30, AD4Gens: 14, AD4Evals: 6000,
+		VinaExhaustiveness: 2, VinaSteps: 5, VinaModes: 9,
+	}
+}
+
+// SmokeEffort is the minimal preset used by unit tests.
+func SmokeEffort() Effort {
+	return Effort{
+		GridNPts: 10, GridSpacing: 2.2,
+		AD4Runs: 2, AD4PopSize: 12, AD4Gens: 5, AD4Evals: 1200,
+		VinaExhaustiveness: 2, VinaSteps: 4, VinaModes: 5,
+	}
+}
+
+// Validate rejects degenerate presets.
+func (e Effort) Validate() error {
+	if e.GridNPts < 4 || e.GridSpacing <= 0 {
+		return fmt.Errorf("core: bad grid effort (npts=%d spacing=%v)", e.GridNPts, e.GridSpacing)
+	}
+	if e.AD4Runs < 1 || e.AD4PopSize < 2 || e.AD4Gens < 1 {
+		return fmt.Errorf("core: bad AD4 effort %+v", e)
+	}
+	if e.VinaExhaustiveness < 1 || e.VinaSteps < 1 {
+		return fmt.Errorf("core: bad Vina effort %+v", e)
+	}
+	return nil
+}

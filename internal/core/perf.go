@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/data"
+	"repro/internal/prep"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workflow"
+)
+
+// chainTags returns SciDock's activity chain for a docking program,
+// in execution order.
+func chainTags(program prep.Program) []string {
+	dockTag := sched.TagDockAD4
+	if program == prep.ProgramVina {
+		dockTag = sched.TagDockVina
+	}
+	return []string{
+		sched.TagBabel, sched.TagLigPrep, sched.TagRecPrep, sched.TagGPF,
+		sched.TagAutoGrid, sched.TagFilter, sched.TagDockPrep, dockTag,
+	}
+}
+
+// PerfConfig parameterizes the scalability sweep behind Figures 7-9:
+// virtual-time-only execution of the full 10,000-pair workload at
+// each core count, using the calibrated cost model and the greedy
+// scheduler but skipping the chemistry (whose outputs the sweep does
+// not consume).
+type PerfConfig struct {
+	Program   prep.Program
+	Dataset   data.Dataset
+	CoresList []int
+	Scheduler sched.Scheduler // nil = calibrated greedy (per core count)
+	CostModel *sched.CostModel
+	HgGuard   bool
+	// Steered models the post-§V.C state of the deployment: the
+	// problematic ligands have been identified via provenance and
+	// re-parameterized, so they dock normally instead of looping.
+	// The paper's Figure 7-9 measurements are post-steering runs.
+	Steered bool
+}
+
+// PerfSweep measures TET at each core count and returns the
+// scalability series. Deterministic: repeated sweeps agree exactly.
+func PerfSweep(cfg PerfConfig) (stats.Series, error) {
+	if cfg.Dataset.NumPairs() == 0 {
+		return stats.Series{}, fmt.Errorf("core: perf sweep over empty dataset")
+	}
+	if len(cfg.CoresList) == 0 {
+		return stats.Series{}, fmt.Errorf("core: perf sweep needs core counts")
+	}
+	if cfg.CostModel == nil {
+		cfg.CostModel = sched.NewCostModel()
+	}
+	label := "SciDock-AD4"
+	if cfg.Program == prep.ProgramVina {
+		label = "SciDock-Vina"
+	}
+	series := stats.Series{Label: label}
+	for _, cores := range cfg.CoresList {
+		if cores < 1 {
+			return stats.Series{}, fmt.Errorf("core: invalid core count %d", cores)
+		}
+		tet, err := perfRun(cfg, cores)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		series.Points = append(series.Points, stats.PerfPoint{Cores: cores, TET: tet})
+	}
+	return series, nil
+}
+
+// perfRun replays the workflow's timing at one core count.
+func perfRun(cfg PerfConfig, cores int) (float64, error) {
+	sim := cloud.NewSim()
+	cluster := cloud.NewCluster(sim)
+	vms, err := cluster.BuildVirtualCluster(cores)
+	if err != nil {
+		return 0, err
+	}
+	scheduler := cfg.Scheduler
+	if scheduler == nil {
+		g := sched.NewGreedy()
+		g.WorkerCap = cores
+		scheduler = g
+	}
+
+	clock := 0.0
+	for _, vm := range vms {
+		if vm.ReadyAt > clock {
+			clock = vm.ReadyAt
+		}
+	}
+
+	pairs := cfg.Dataset.Pairs()
+	alive := make([]bool, len(pairs))
+	for i := range alive {
+		alive[i] = true
+	}
+	var taskid int64
+	for _, tag := range chainTags(cfg.Program) {
+		var acts []sched.Activation
+		for i, p := range pairs {
+			if !alive[i] {
+				continue
+			}
+			taskid++
+			key := p.String()
+			switch {
+			case tag == sched.TagRecPrep && data.ReceptorMeta(p.Receptor).ContainsHg:
+				alive[i] = false
+				if cfg.HgGuard {
+					continue // aborted pre-execution, zero cost
+				}
+				acts = append(acts, sched.Activation{
+					ID: taskid, Tag: tag, Key: key,
+					Attempts: []float64{sched.LoopTimeout},
+				})
+			case isDockTag(tag) && data.LigandMeta(p.Ligand).Problematic && !cfg.Steered:
+				alive[i] = false
+				acts = append(acts, sched.Activation{
+					ID: taskid, Tag: tag, Key: key,
+					Attempts: []float64{sched.LoopTimeout},
+				})
+			default:
+				cost := cfg.CostModel.Sample(tag, key)
+				acts = append(acts, sched.Activation{
+					ID: taskid, Tag: tag, Key: key,
+					Attempts: cfg.CostModel.Attempts(tag, key, cost),
+				})
+			}
+		}
+		if len(acts) == 0 {
+			continue
+		}
+		_, makespan, err := scheduler.Schedule(clock, acts, vms)
+		if err != nil {
+			return 0, err
+		}
+		clock += makespan
+	}
+	return clock, nil
+}
+
+func isDockTag(tag string) bool {
+	return tag == sched.TagDockAD4 || tag == sched.TagDockVina
+}
+
+// TimingWorkflow builds a SciDock chain whose bodies only thread
+// tuples through (no chemistry, no files): the engine still records
+// full provenance with cost-model virtual durations, which is all
+// Figures 5, 6 and 10 need. The 1,000-pair provenance milieu of the
+// paper regenerates in well under a second.
+func TimingWorkflow(cfg Config, program prep.Program) (*workflow.Workflow, error) {
+	w, err := BuildWorkflow(cfg, program)
+	if err != nil {
+		return nil, err
+	}
+	pass := func(in workflow.Tuple) (*workflow.ActivationResult, error) {
+		return &workflow.ActivationResult{Outputs: []workflow.Tuple{in}}, nil
+	}
+	for _, a := range w.Activities {
+		a.Run = pass
+	}
+	return w, w.Validate()
+}

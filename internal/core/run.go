@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/sched"
+	"repro/internal/workflow"
+)
+
+// Mode selects how SciDock assigns docking programs.
+type Mode int
+
+// Campaign modes.
+const (
+	// ModeAD4 forces AutoDock 4 for every pair (the paper's
+	// Scenario I performance runs).
+	ModeAD4 Mode = iota
+	// ModeVina forces Vina for every pair (Scenario II).
+	ModeVina
+	// ModeAdaptive applies the docking filter: small receptors dock
+	// with AD4, large with Vina — two workflows, as deployed.
+	ModeAdaptive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAD4:
+		return "ad4"
+	case ModeVina:
+		return "vina"
+	case ModeAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a SciDock campaign.
+type Config struct {
+	Mode    Mode
+	Dataset data.Dataset
+	Cores   int
+	Effort  Effort
+	Seed    int64
+	ExpDir  string
+
+	// HgGuard enables the steering routine added in §V.C: receptors
+	// known (from provenance) to carry Hg are aborted before
+	// execution instead of looping.
+	HgGuard bool
+	// WriteMaps materializes AutoGrid's .map files on the shared file
+	// system (the bulk of the paper's "600 GB per execution"). Off by
+	// default: campaign-scale sweeps only need the in-memory grids.
+	WriteMaps bool
+	// LigandBlacklist marks problematic ligands discovered via
+	// provenance; blacklisted ligands dock normally in this
+	// reproduction (the paper re-ran them after parameter fixes).
+	LigandBlacklist map[string]bool
+
+	// Engine knobs (optional).
+	Scheduler       sched.Scheduler
+	CostModel       *sched.CostModel
+	Adaptive        *sched.AdaptivePolicy
+	Parallelism     int
+	DisableFailures bool
+	// OnStageComplete receives runtime-steering snapshots after each
+	// activity stage (§IV.B's runtime provenance monitoring).
+	OnStageComplete func(engine.StageEvent)
+	// ProvenanceEstimates orders scheduling by provenance history
+	// instead of true durations (SciCumulus' weighted cost model).
+	ProvenanceEstimates bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("core: cores %d must be positive", c.Cores)
+	}
+	if c.Dataset.NumPairs() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	if c.Effort == (Effort{}) {
+		c.Effort = CampaignEffort()
+	}
+	if c.ExpDir == "" {
+		c.ExpDir = "/root/exp_SciDock/"
+	}
+	return c.Effort.Validate()
+}
+
+// Campaign is the outcome of one SciDock execution: the engine (with
+// its provenance database, shared FS and bill) plus per-workflow
+// reports.
+type Campaign struct {
+	Engine  *engine.Engine
+	Reports []*engine.Report
+	Config  Config
+}
+
+// TET returns the campaign's total execution time in virtual seconds
+// (workflows run back to back, as the paper's scenarios did).
+func (c *Campaign) TET() float64 {
+	var t float64
+	for _, r := range c.Reports {
+		t += r.TET
+	}
+	return t
+}
+
+// HgGuardRule is the steering routine of §V.C: it aborts
+// receptor-preparation activations whose receptor carries Hg, using
+// dataset metadata the scientists mined from provenance.
+func HgGuardRule(tag string, t workflow.Tuple) (string, bool) {
+	if tag != sched.TagRecPrep {
+		return "", false
+	}
+	rec := t[FieldReceptor]
+	if rec != "" && data.ReceptorMeta(rec).ContainsHg {
+		return "Hg present in receptor " + rec, true
+	}
+	return "", false
+}
+
+// Run executes a SciDock campaign: one workflow for forced modes, two
+// (AD4 then Vina) for adaptive mode, sharing one engine so provenance
+// accumulates in a single database, as in the paper's deployment.
+func Run(cfg Config) (*Campaign, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	opts := engine.Options{
+		Cores:               cfg.Cores,
+		Scheduler:           cfg.Scheduler,
+		CostModel:           cfg.CostModel,
+		Adaptive:            cfg.Adaptive,
+		Parallelism:         cfg.Parallelism,
+		DisableFailures:     cfg.DisableFailures,
+		OnStageComplete:     cfg.OnStageComplete,
+		ProvenanceEstimates: cfg.ProvenanceEstimates,
+	}
+	if cfg.HgGuard {
+		opts.AbortRules = append(opts.AbortRules, HgGuardRule)
+	}
+	eng, err := engine.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	camp := &Campaign{Engine: eng, Config: cfg}
+
+	var programs []prep.Program
+	switch cfg.Mode {
+	case ModeAD4:
+		programs = []prep.Program{prep.ProgramAD4}
+	case ModeVina:
+		programs = []prep.Program{prep.ProgramVina}
+	case ModeAdaptive:
+		programs = []prep.Program{prep.ProgramAD4, prep.ProgramVina}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	input := InputRelation(cfg.Dataset, cfg.ExpDir)
+	for _, p := range programs {
+		w, err := BuildWorkflow(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := eng.Run(w, input)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s workflow: %w", p, err)
+		}
+		camp.Reports = append(camp.Reports, rep)
+	}
+	return camp, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/prep"
+	"repro/internal/workflow"
+	"repro/internal/workflow/spec"
+)
+
+// TestSciDockSpecRoundTrip exports the built SciDock workflow as
+// SciCumulus XML (the Figure 2 format), parses it back, rebinds the
+// activity bodies and validates — the full configuration path a
+// SciCumulus user exercises.
+func TestSciDockSpecRoundTrip(t *testing.T) {
+	cfg := smokeConfig(t, ModeAD4, 2, 2)
+	w, err := BuildWorkflow(cfg, prep.ProgramAD4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &spec.Spec{
+		Database: spec.Database{Name: "scicumulus", Server: "ec2-50-17-107-164.compute-1.amazonaws.com", Port: 5432},
+		Workflow: w,
+	}
+	var buf bytes.Buffer
+	if err := spec.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := spec.Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if parsed.Database.Port != 5432 {
+		t.Errorf("database metadata lost: %+v", parsed.Database)
+	}
+	if len(parsed.Workflow.Activities) != len(w.Activities) {
+		t.Fatalf("activities %d != %d", len(parsed.Workflow.Activities), len(w.Activities))
+	}
+	// Rebind bodies by tag, as a deployment would.
+	bodies := map[string]workflow.RunFunc{}
+	for _, a := range w.Activities {
+		bodies[a.Tag] = a.Run
+	}
+	if err := parsed.Bind(bodies); err != nil {
+		t.Fatal(err)
+	}
+	// Dependency chain preserved.
+	orig, _ := w.TopoOrder()
+	again, _ := parsed.Workflow.TopoOrder()
+	for i := range orig {
+		if orig[i].Tag != again[i].Tag {
+			t.Fatalf("chain order changed at %d: %s vs %s", i, orig[i].Tag, again[i].Tag)
+		}
+	}
+	// Templates round-trip, so instrumentation tags survive.
+	for i := range orig {
+		if orig[i].Template != again[i].Template {
+			t.Errorf("template of %s changed: %q vs %q",
+				orig[i].Tag, orig[i].Template, again[i].Template)
+		}
+	}
+}
+
+// TestSciDockTemplatesInstantiate verifies every activity template of
+// the built workflow resolves against the tuples that actually reach
+// it during a run (instrumentation completeness).
+func TestSciDockTemplatesInstantiate(t *testing.T) {
+	cfg := smokeConfig(t, ModeAD4, 2, 1)
+	camp, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every recorded command is fully instantiated: no %TAG% left.
+	res, err := camp.Engine.DB.Query("SELECT command FROM hactivation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		cmd := row[0].(string)
+		if bytes.Contains([]byte(cmd), []byte("%")) {
+			t.Errorf("uninstantiated command in provenance: %q", cmd)
+		}
+	}
+}

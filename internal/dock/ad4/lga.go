@@ -1,0 +1,198 @@
+package ad4
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/chem"
+	"repro/internal/dock"
+	"repro/internal/prep"
+)
+
+// ProgramName is the banner written into DLG files, matching the
+// version the paper deployed.
+const ProgramName = "AutoDock 4.2.5.1"
+
+// Engine runs Lamarckian-GA dockings with the parameters of a DPF.
+type Engine struct {
+	Params prep.DPF
+	Box    dock.Box
+}
+
+// Dock executes Params.Runs independent LGA runs and collects the
+// per-run best poses, energies and RMSDs (vs the ligand's input
+// frame, AutoDock's DLG convention).
+func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
+	if e.Params.Runs <= 0 || e.Params.PopSize <= 1 {
+		return nil, fmt.Errorf("ad4: invalid GA parameters (runs=%d pop=%d)",
+			e.Params.Runs, e.Params.PopSize)
+	}
+	res := &dock.Result{
+		Program:  ProgramName,
+		Receptor: s.Maps.Receptor,
+		Ligand:   lig.Mol.Name,
+		Seed:     e.Params.RandomSeed,
+	}
+	for run := 1; run <= e.Params.Runs; run++ {
+		r := rand.New(rand.NewSource(e.Params.RandomSeed + int64(run)*7919))
+		pose, feb := e.runLGA(r, s, lig)
+		rmsd, err := chem.RMSD(lig.Coords(pose), lig.Reference())
+		if err != nil {
+			return nil, fmt.Errorf("ad4: rmsd: %w", err)
+		}
+		res.Runs = append(res.Runs, dock.RunResult{Run: run, Pose: pose, FEB: feb, RMSD: rmsd})
+	}
+	return res, nil
+}
+
+type individual struct {
+	pose dock.Pose
+	feb  float64
+}
+
+// runLGA is one Lamarckian GA run: generational GA with tournament
+// selection, uniform pose crossover, Cauchy mutation and Solis-Wets
+// local search whose result is written back into the genome
+// (Lamarckian inheritance).
+func (e *Engine) runLGA(r *rand.Rand, s *Scorer, lig *dock.Ligand) (dock.Pose, float64) {
+	nt := lig.NumTorsions()
+	pop := make([]individual, e.Params.PopSize)
+	evals := 0
+	score := func(p dock.Pose) float64 {
+		evals++
+		return s.Score(lig.Coords(p))
+	}
+	for i := range pop {
+		pop[i].pose = dock.RandomPose(r, e.Box, nt)
+		pop[i].feb = score(pop[i].pose)
+	}
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.feb < best.feb {
+			best = ind
+		}
+	}
+
+	for gen := 0; gen < e.Params.Gens && evals < e.Params.Evals; gen++ {
+		next := make([]individual, 0, len(pop))
+		// Elitism: carry the best genome forward unchanged.
+		next = append(next, best)
+		for len(next) < len(pop) {
+			a := tournament(r, pop)
+			b := tournament(r, pop)
+			child := a.pose
+			if r.Float64() < e.Params.CrossRate {
+				child = crossover(r, a.pose, b.pose)
+			}
+			child = mutate(r, child, e.Params.MutRate, e.Box)
+			feb := score(child)
+			// Lamarckian local search on a fraction of offspring.
+			if r.Float64() < e.Params.LocalRate {
+				child, feb = e.solisWets(r, s, lig, child, feb, &evals)
+			}
+			ind := individual{pose: child, feb: feb}
+			if ind.feb < best.feb {
+				best = ind
+			}
+			next = append(next, ind)
+		}
+		pop = next
+	}
+	// Final local refinement of the champion.
+	pose, feb := e.solisWets(r, s, lig, best.pose, best.feb, new(int))
+	if feb < best.feb {
+		return pose, feb
+	}
+	return best.pose, best.feb
+}
+
+func tournament(r *rand.Rand, pop []individual) individual {
+	a := pop[r.Intn(len(pop))]
+	b := pop[r.Intn(len(pop))]
+	if a.feb <= b.feb {
+		return a
+	}
+	return b
+}
+
+// crossover mixes two parent poses gene-wise: translation lerp,
+// orientation slerp and per-torsion pick.
+func crossover(r *rand.Rand, a, b dock.Pose) dock.Pose {
+	t := r.Float64()
+	child := a.Clone()
+	child.Translation = a.Translation.Lerp(b.Translation, t)
+	child.Orientation = a.Orientation.Slerp(b.Orientation, t)
+	for i := range child.Torsions {
+		if r.Float64() < 0.5 {
+			child.Torsions[i] = b.Torsions[i]
+		}
+	}
+	return child
+}
+
+// mutate applies Cauchy-distributed gene perturbations at the given
+// per-gene rate, clamping the translation back into the box.
+func mutate(r *rand.Rand, p dock.Pose, rate float64, box dock.Box) dock.Pose {
+	q := p.Clone()
+	cauchy := func(scale float64) float64 {
+		return scale * math.Tan(math.Pi*(r.Float64()-0.5))
+	}
+	if r.Float64() < rate*10 { // translation gene
+		q.Translation = q.Translation.Add(chem.V(cauchy(1.0), cauchy(1.0), cauchy(1.0)))
+	}
+	if r.Float64() < rate*10 { // orientation gene
+		axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		q.Orientation = chem.AxisAngleQuat(axis, cauchy(0.3)).Mul(q.Orientation).Normalize()
+	}
+	for i := range q.Torsions {
+		if r.Float64() < rate*10 {
+			q.Torsions[i] = wrap(q.Torsions[i] + cauchy(0.3))
+		}
+	}
+	dock.ClampToBox(&q, box)
+	return q
+}
+
+func wrap(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// solisWets is AutoDock's local search: adaptive random-direction
+// descent. Successful steps expand the step size and leave a bias;
+// failures try the opposite direction, then shrink.
+func (e *Engine) solisWets(r *rand.Rand, s *Scorer, lig *dock.Ligand, p dock.Pose, feb float64, evals *int) (dock.Pose, float64) {
+	rho := 1.0
+	const rhoMin = 0.01
+	succ, fail := 0, 0
+	cur, curFeb := p.Clone(), feb
+	for it := 0; it < e.Params.LocalIts && rho > rhoMin; it++ {
+		cand := dock.Perturb(r, cur, rho*0.5, rho*0.15)
+		dock.ClampToBox(&cand, e.Box)
+		*evals++
+		candFeb := s.Score(lig.Coords(cand))
+		if candFeb < curFeb {
+			cur, curFeb = cand, candFeb
+			succ++
+			fail = 0
+		} else {
+			fail++
+			succ = 0
+		}
+		if succ >= 4 {
+			rho *= 2
+			succ = 0
+		}
+		if fail >= 4 {
+			rho *= 0.5
+			fail = 0
+		}
+	}
+	return cur, curFeb
+}

@@ -1,0 +1,145 @@
+// Package ad4 reproduces AutoDock 4.2: the grid-based empirical free
+// energy function and the Lamarckian genetic algorithm (LGA) search,
+// SciDock's activity 8a.
+package ad4
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chem"
+	"repro/internal/dock"
+	"repro/internal/grid"
+)
+
+// Free-energy coefficient set. The shapes follow the AD4.1 force field
+// (Morris et al. 1998); magnitudes are calibrated for the synthetic
+// Peptidase_CA workload (see DESIGN.md §4 "Chemistry calibration").
+const (
+	weightVdw    = 0.1662
+	weightElec   = 0.1406
+	weightDesolv = 0.1322
+	weightIntra  = 0.1    // internal energy contribution
+	weightTors   = 0.2983 // kcal/mol per rotatable bond
+	intraCutoff  = 8.0    // Å
+	intraDielec  = 4.0    // constant dielectric for intra Coulomb
+	coulombConst = 332.06 // kcal·Å/(mol·e²)
+)
+
+// Scorer evaluates the AD4 free energy of binding of a ligand
+// conformation against precomputed AutoGrid maps.
+type Scorer struct {
+	Maps *grid.Maps
+	Lig  *dock.Ligand
+
+	atomTypes  []chem.AtomType
+	charges    []float64
+	intraPairs [][2]int
+	torsTerm   float64
+}
+
+// NewScorer prepares per-atom lookups and the intramolecular pair
+// list (atoms three or more bonds apart, whose separation changes
+// with torsions).
+func NewScorer(maps *grid.Maps, lig *dock.Ligand) (*Scorer, error) {
+	s := &Scorer{Maps: maps, Lig: lig}
+	for i, a := range lig.Mol.Atoms {
+		t := a.Type
+		if t == "" {
+			return nil, fmt.Errorf("ad4: ligand %q atom %d untyped (preparation missing)", lig.Mol.Name, i)
+		}
+		if _, err := maps.AffinityAt(t, maps.Spec.Center); err != nil {
+			return nil, fmt.Errorf("ad4: %w", err)
+		}
+		s.atomTypes = append(s.atomTypes, t)
+		s.charges = append(s.charges, a.Charge)
+	}
+	s.intraPairs = intraPairs(lig.Mol)
+	s.torsTerm = weightTors * float64(lig.NumTorsions())
+	return s, nil
+}
+
+// intraPairs returns atom index pairs with bond-graph distance ≥ 3
+// (1-4 interactions and beyond), the set AutoDock scores internally.
+func intraPairs(m *chem.Molecule) [][2]int {
+	n := m.NumAtoms()
+	adj := m.Adjacency()
+	var pairs [][2]int
+	dist := make([]int, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if dist[v] >= 3 {
+				continue
+			}
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for j := src + 1; j < n; j++ {
+			if dist[j] < 0 || dist[j] >= 3 {
+				pairs = append(pairs, [2]int{src, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// Score implements dock.Scorer: intermolecular grid terms plus the
+// internal energy and the torsional entropy penalty. This is the
+// search objective; the FEB printed into DLG files comes from
+// ReportedFEB, which — like the real AutoDock — excludes the ligand's
+// internal energy.
+func (s *Scorer) Score(coords []chem.Vec3) float64 {
+	inter := s.interEnergy(coords)
+	return inter + weightIntra*s.intra(coords) + s.torsTerm
+}
+
+// ReportedFEB is the estimated free energy of binding AutoDock prints:
+// the intermolecular energy plus the torsional penalty, excluding the
+// conformation's internal energy (which cancels against the unbound
+// reference in AD4's thermodynamic cycle).
+func (s *Scorer) ReportedFEB(coords []chem.Vec3) float64 {
+	return s.interEnergy(coords) + s.torsTerm
+}
+
+func (s *Scorer) interEnergy(coords []chem.Vec3) float64 {
+	var inter float64
+	for i, p := range coords {
+		aff, err := s.Maps.AffinityAt(s.atomTypes[i], p)
+		if err != nil {
+			// Unreachable after NewScorer validation; treat as wall.
+			aff = grid.OutOfBoxPenalty
+		}
+		inter += weightVdw * aff
+		inter += weightElec * s.charges[i] * s.Maps.ElectrostaticAt(p)
+		inter += weightDesolv * math.Abs(s.charges[i]) * s.Maps.DesolvationAt(p)
+	}
+	return inter
+}
+
+func (s *Scorer) intra(coords []chem.Vec3) float64 {
+	var e float64
+	for _, pr := range s.intraPairs {
+		i, j := pr[0], pr[1]
+		r := coords[i].Dist(coords[j])
+		if r > intraCutoff {
+			continue
+		}
+		if r < 0.5 {
+			r = 0.5
+		}
+		e += grid.PairEnergy(s.atomTypes[i].Params(), s.atomTypes[j].Params(), r)
+		e += coulombConst * s.charges[i] * s.charges[j] / (intraDielec * r * r)
+	}
+	return e
+}

@@ -1,0 +1,106 @@
+package dock
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chem"
+)
+
+// Cluster is one conformational cluster of docking runs: AutoDock
+// groups runs whose poses fall within an RMSD tolerance of the
+// cluster's lowest-energy member and reports the clustering histogram
+// in the DLG.
+type Cluster struct {
+	// Representative is the index (into the clustered runs slice) of
+	// the lowest-FEB member.
+	Representative int
+	// Members are run indices, representative first.
+	Members []int
+	// BestFEB is the representative's energy.
+	BestFEB float64
+}
+
+// ClusterRuns performs AutoDock's conformational cluster analysis:
+// runs are sorted by energy; each run joins the first existing
+// cluster whose representative pose is within tol Å (all-atom RMSD),
+// otherwise it seeds a new cluster. Clusters come back sorted by
+// their best energy.
+//
+// This is the analysis behind the DLG "CLUSTERING HISTOGRAM" table
+// the paper's extractors mine.
+func ClusterRuns(lig *Ligand, runs []RunResult, tol float64) ([]Cluster, error) {
+	if tol <= 0 {
+		return nil, fmt.Errorf("dock: clustering tolerance %v must be positive", tol)
+	}
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	order := make([]int, len(runs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return runs[order[a]].FEB < runs[order[b]].FEB })
+
+	coords := make([][]chem.Vec3, len(runs))
+	coordsOf := func(i int) []chem.Vec3 {
+		if coords[i] == nil {
+			coords[i] = lig.Coords(runs[i].Pose)
+		}
+		return coords[i]
+	}
+
+	var clusters []Cluster
+	for _, idx := range order {
+		placed := false
+		for ci := range clusters {
+			rep := clusters[ci].Representative
+			r, err := chem.RMSD(coordsOf(idx), coordsOf(rep))
+			if err != nil {
+				return nil, fmt.Errorf("dock: clustering: %w", err)
+			}
+			if r <= tol {
+				clusters[ci].Members = append(clusters[ci].Members, idx)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, Cluster{
+				Representative: idx,
+				Members:        []int{idx},
+				BestFEB:        runs[idx].FEB,
+			})
+		}
+	}
+	return clusters, nil
+}
+
+// AnnotateClusters rewrites each run's ClusterN-equivalent by storing
+// the cluster sizes into a parallel slice (index-aligned with runs).
+func AnnotateClusters(runs []RunResult, clusters []Cluster) []int {
+	sizes := make([]int, len(runs))
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			sizes[m] = len(c.Members)
+		}
+	}
+	return sizes
+}
+
+// LargestCluster returns the cluster with the most members (ties
+// break to the lower-energy cluster, which comes first). AutoDock's
+// recommended pose is usually the largest low-energy cluster's
+// representative.
+func LargestCluster(clusters []Cluster) (Cluster, error) {
+	if len(clusters) == 0 {
+		return Cluster{}, fmt.Errorf("dock: no clusters")
+	}
+	best := clusters[0]
+	for _, c := range clusters[1:] {
+		if len(c.Members) > len(best.Members) {
+			best = c
+		}
+	}
+	return best, nil
+}

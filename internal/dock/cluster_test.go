@@ -1,0 +1,166 @@
+package dock
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+)
+
+// clusteredRuns builds runs whose poses form two tight spatial groups
+// plus one outlier.
+func clusteredRuns(t *testing.T, lig *Ligand) []RunResult {
+	t.Helper()
+	nt := lig.NumTorsions()
+	mk := func(run int, pos chem.Vec3, feb float64) RunResult {
+		return RunResult{
+			Run: run, FEB: feb,
+			Pose: Pose{Translation: pos, Orientation: chem.QuatIdentity, Torsions: make([]float64, nt)},
+		}
+	}
+	return []RunResult{
+		mk(1, chem.V(0, 0, 0), -7.0),
+		mk(2, chem.V(0.3, 0, 0), -6.5),   // same cluster as run 1
+		mk(3, chem.V(0, 0.4, 0), -6.8),   // same cluster as run 1
+		mk(4, chem.V(30, 0, 0), -5.0),    // second cluster
+		mk(5, chem.V(30.2, 0, 0), -4.8),  // second cluster
+		mk(6, chem.V(-40, 40, 10), -2.0), // outlier
+	}
+}
+
+func TestClusterRunsGroups(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	runs := clusteredRuns(t, lig)
+	clusters, err := ClusterRuns(lig, runs, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	// Sorted by best energy: first cluster holds runs 1-3.
+	if len(clusters[0].Members) != 3 {
+		t.Errorf("first cluster size = %d, want 3", len(clusters[0].Members))
+	}
+	if clusters[0].BestFEB != -7.0 {
+		t.Errorf("first cluster best = %v", clusters[0].BestFEB)
+	}
+	// Representative is the lowest-energy member.
+	if runs[clusters[0].Representative].Run != 1 {
+		t.Errorf("representative run = %d, want 1", runs[clusters[0].Representative].Run)
+	}
+	if len(clusters[1].Members) != 2 || len(clusters[2].Members) != 1 {
+		t.Errorf("cluster sizes = %d, %d", len(clusters[1].Members), len(clusters[2].Members))
+	}
+}
+
+func TestAnnotateClusters(t *testing.T) {
+	lig := testLigand(t, "042")
+	runs := clusteredRuns(t, lig)
+	clusters, err := ClusterRuns(lig, runs, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := AnnotateClusters(runs, clusters)
+	want := []int{3, 3, 3, 2, 2, 1}
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Errorf("run %d cluster size = %d, want %d", i+1, sizes[i], w)
+		}
+	}
+}
+
+func TestLargestCluster(t *testing.T) {
+	lig := testLigand(t, "074")
+	runs := clusteredRuns(t, lig)
+	clusters, _ := ClusterRuns(lig, runs, 2.0)
+	best, err := LargestCluster(clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Members) != 3 {
+		t.Errorf("largest cluster size = %d", len(best.Members))
+	}
+	if _, err := LargestCluster(nil); err == nil {
+		t.Error("empty clusters accepted")
+	}
+}
+
+func TestClusterRunsEdgeCases(t *testing.T) {
+	lig := testLigand(t, "0D6")
+	if _, err := ClusterRuns(lig, clusteredRuns(t, lig), 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	got, err := ClusterRuns(lig, nil, 2)
+	if err != nil || got != nil {
+		t.Errorf("empty runs: %v, %v", got, err)
+	}
+	// Huge tolerance: everything in one cluster.
+	one, err := ClusterRuns(lig, clusteredRuns(t, lig), 1e6)
+	if err != nil || len(one) != 1 || len(one[0].Members) != 6 {
+		t.Errorf("single-cluster case: %+v, %v", one, err)
+	}
+}
+
+func TestToDLGWithClusters(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	r := &Result{
+		Program: "AutoDock 4.2.5.1", Receptor: "2HHN", Ligand: "0E6",
+		Runs: clusteredRuns(t, lig),
+	}
+	d, err := r.ToDLGWithClusters(lig, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run order preserved, cluster sizes filled.
+	if d.Runs[0].ClusterN != 3 || d.Runs[3].ClusterN != 2 || d.Runs[5].ClusterN != 1 {
+		t.Errorf("cluster sizes = %+v", d.Runs)
+	}
+}
+
+// Property: clustering partitions the runs (every run in exactly one
+// cluster) at any tolerance.
+func TestClusterPartitionProperty(t *testing.T) {
+	lig := testLigand(t, "074")
+	r := rand.New(rand.NewSource(31))
+	nt := lig.NumTorsions()
+	for trial := 0; trial < 20; trial++ {
+		var runs []RunResult
+		n := 3 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			runs = append(runs, RunResult{
+				Run: i + 1, FEB: r.Float64()*10 - 8,
+				Pose: Pose{
+					Translation: chem.V(r.Float64()*20, r.Float64()*20, r.Float64()*20),
+					Orientation: chem.RandomQuat(r.Float64(), r.Float64(), r.Float64()),
+					Torsions:    make([]float64, nt),
+				},
+			})
+		}
+		tol := 0.5 + r.Float64()*10
+		clusters, err := ClusterRuns(lig, runs, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]int{}
+		for _, c := range clusters {
+			for _, m := range c.Members {
+				seen[m]++
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("trial %d: %d of %d runs clustered", trial, len(seen), n)
+		}
+		for m, k := range seen {
+			if k != 1 {
+				t.Fatalf("trial %d: run %d appears %d times", trial, m, k)
+			}
+		}
+		// Clusters sorted by best energy.
+		for i := 1; i < len(clusters); i++ {
+			if clusters[i].BestFEB < clusters[i-1].BestFEB {
+				t.Fatalf("trial %d: clusters not energy-sorted", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package dock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/data"
+	"repro/internal/prep"
+)
+
+func testLigand(t testing.TB, code string) *Ligand {
+	t.Helper()
+	raw, _ := data.GenerateLigand(code)
+	mol2, err := prep.ConvertSDFToMol2(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := prep.PrepareLigand(mol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lig, err := NewLigand(pl.Mol, pl.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lig
+}
+
+func TestNewLigandErrors(t *testing.T) {
+	if _, err := NewLigand(&chem.Molecule{Name: "E"}, &chem.TorsionTree{}); err == nil {
+		t.Error("empty molecule accepted")
+	}
+	m := &chem.Molecule{Name: "X", Atoms: []chem.Atom{{Element: chem.Carbon}}}
+	if _, err := NewLigand(m, nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+}
+
+func TestCoordsIdentityPose(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	p := Pose{Orientation: chem.QuatIdentity, Torsions: make([]float64, lig.NumTorsions())}
+	coords := lig.Coords(p)
+	// Identity pose at origin: centroid at origin.
+	c := chem.Centroid(coords)
+	if c.Norm() > 1e-9 {
+		t.Errorf("identity-pose centroid = %v", c)
+	}
+	// Bond lengths preserved vs reference.
+	ref := lig.Reference()
+	for _, b := range lig.Mol.Bonds {
+		d0 := ref[b.A].Dist(ref[b.B])
+		d1 := coords[b.A].Dist(coords[b.B])
+		if math.Abs(d0-d1) > 1e-9 {
+			t.Fatalf("bond %d-%d length changed", b.A, b.B)
+		}
+	}
+}
+
+func TestCoordsTranslation(t *testing.T) {
+	lig := testLigand(t, "042")
+	p := Pose{
+		Translation: chem.V(10, -5, 3),
+		Orientation: chem.QuatIdentity,
+		Torsions:    make([]float64, lig.NumTorsions()),
+	}
+	coords := lig.Coords(p)
+	c := chem.Centroid(coords)
+	if c.Dist(p.Translation) > 1e-9 {
+		t.Errorf("centroid %v, want %v", c, p.Translation)
+	}
+}
+
+func TestCoordsRigidInvariants(t *testing.T) {
+	lig := testLigand(t, "074")
+	r := rand.New(rand.NewSource(3))
+	box := Box{Center: chem.V(0, 0, 0), Size: chem.V(20, 20, 20)}
+	base := lig.Coords(Pose{Orientation: chem.QuatIdentity, Torsions: make([]float64, lig.NumTorsions())})
+	for i := 0; i < 25; i++ {
+		p := RandomPose(r, box, lig.NumTorsions())
+		coords := lig.Coords(p)
+		// All bond lengths invariant under any pose.
+		for _, b := range lig.Mol.Bonds {
+			d0 := base[b.A].Dist(base[b.B])
+			d1 := coords[b.A].Dist(coords[b.B])
+			if math.Abs(d0-d1) > 1e-6 {
+				t.Fatalf("pose %d: bond %d-%d length %v -> %v", i, b.A, b.B, d0, d1)
+			}
+		}
+		if !box.Contains(p.Translation) {
+			t.Fatalf("random pose translation outside box")
+		}
+	}
+}
+
+func TestCoordsPanicsOnTorsionMismatch(t *testing.T) {
+	lig := testLigand(t, "0D6")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	lig.Coords(Pose{Orientation: chem.QuatIdentity, Torsions: make([]float64, lig.NumTorsions()+2)})
+}
+
+func TestPerturbSmallAmplitude(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	r := rand.New(rand.NewSource(9))
+	p := Pose{Orientation: chem.QuatIdentity, Torsions: make([]float64, lig.NumTorsions())}
+	q := Perturb(r, p, 0.1, 0.02)
+	if q.Translation.Norm() > 2 {
+		t.Errorf("perturbation moved too far: %v", q.Translation)
+	}
+	// The original must be untouched (deep copy).
+	if p.Translation.Norm() != 0 {
+		t.Error("Perturb mutated its input translation")
+	}
+	for _, a := range p.Torsions {
+		if a != 0 {
+			t.Error("Perturb mutated input torsions")
+		}
+	}
+	// Torsions stay wrapped.
+	for _, a := range q.Torsions {
+		if a < -math.Pi || a > math.Pi {
+			t.Errorf("torsion %v not wrapped", a)
+		}
+	}
+}
+
+func TestClampToBox(t *testing.T) {
+	box := Box{Center: chem.V(0, 0, 0), Size: chem.V(10, 10, 10)}
+	p := Pose{Translation: chem.V(100, -3, 7), Orientation: chem.QuatIdentity}
+	ClampToBox(&p, box)
+	if !box.Contains(p.Translation) {
+		t.Errorf("clamped pose outside box: %v", p.Translation)
+	}
+	if p.Translation.X != 5 || p.Translation.Y != -3 || p.Translation.Z != 5 {
+		t.Errorf("clamp = %v", p.Translation)
+	}
+}
+
+func TestResultBestAndSort(t *testing.T) {
+	r := &Result{Runs: []RunResult{
+		{Run: 1, FEB: -3},
+		{Run: 2, FEB: -7},
+		{Run: 3, FEB: -5},
+	}}
+	best, err := r.Best()
+	if err != nil || best.Run != 2 {
+		t.Errorf("best = %+v, %v", best, err)
+	}
+	r.SortByFEB()
+	if r.Runs[0].Run != 2 || r.Runs[2].Run != 1 {
+		t.Errorf("sort order wrong: %+v", r.Runs)
+	}
+	empty := &Result{}
+	if _, err := empty.Best(); err == nil {
+		t.Error("empty result Best should error")
+	}
+}
+
+func TestResultToDLG(t *testing.T) {
+	r := &Result{
+		Program: "AutoDock 4.2.5.1", Receptor: "2HHN", Ligand: "0E6", Seed: 11,
+		Runs: []RunResult{{Run: 1, FEB: -6.5, RMSD: 42}},
+	}
+	d := r.ToDLG()
+	if d.Program != r.Program || len(d.Runs) != 1 || d.Runs[0].FEB != -6.5 {
+		t.Errorf("dlg = %+v", d)
+	}
+}
+
+func TestNeighborListMatchesBruteForce(t *testing.T) {
+	rec, _ := data.GenerateReceptor("1CSB")
+	nl := NewNeighborList(rec, 8)
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		q := chem.V(r.Float64()*30-15, r.Float64()*30-15, r.Float64()*30-15)
+		brute := map[int]bool{}
+		for i, a := range rec.Atoms {
+			if a.Pos.Dist(q) <= 8 {
+				brute[i] = true
+			}
+		}
+		got := map[int]bool{}
+		nl.ForNeighbors(q, func(i int, d float64) {
+			got[i] = true
+			if math.Abs(d-rec.Atoms[i].Pos.Dist(q)) > 1e-9 {
+				t.Fatalf("distance wrong for atom %d", i)
+			}
+		})
+		if len(got) != len(brute) {
+			t.Fatalf("trial %d: %d vs brute %d", trial, len(got), len(brute))
+		}
+	}
+	// Far query returns nothing.
+	count := 0
+	nl.ForNeighbors(chem.V(1e4, 1e4, 1e4), func(int, float64) { count++ })
+	if count != 0 {
+		t.Errorf("far query hit %d atoms", count)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	box := Box{Center: chem.Vec3{}, Size: chem.V(20, 20, 20)}
+	pose := Pose{Orientation: chem.QuatIdentity, Torsions: make([]float64, lig.NumTorsions())}
+	s := constScorer{}
+	if _, err := Refine(s, lig, box, pose, 0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad := pose.Clone()
+	bad.Torsions = append(bad.Torsions, 0)
+	if _, err := Refine(s, lig, box, bad, 10, 1); err == nil {
+		t.Error("torsion mismatch accepted")
+	}
+}
+
+// constScorer returns the squared distance from a target point, so
+// refinement has a smooth landscape with a known optimum.
+type constScorer struct{}
+
+func (constScorer) Score(coords []chem.Vec3) float64 {
+	target := chem.V(3, -2, 1)
+	c := chem.Centroid(coords)
+	return c.Dist2(target)
+}
+
+func TestRefineConvergesToOptimum(t *testing.T) {
+	lig := testLigand(t, "042")
+	box := Box{Center: chem.Vec3{}, Size: chem.V(30, 30, 30)}
+	start := Pose{
+		Translation: chem.V(-8, 8, -8),
+		Orientation: chem.QuatIdentity,
+		Torsions:    make([]float64, lig.NumTorsions()),
+	}
+	res, err := Refine(constScorer{}, lig, box, start, 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improved <= 0 {
+		t.Errorf("no improvement: %+v", res)
+	}
+	// Should approach the optimum at (3,-2,1): final score well below
+	// the starting ~350.
+	if res.FEB > 5 {
+		t.Errorf("refinement stalled at %v", res.FEB)
+	}
+	if res.Evals < 2 {
+		t.Errorf("evals = %d", res.Evals)
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	lig := testLigand(t, "074")
+	box := Box{Center: chem.Vec3{}, Size: chem.V(30, 30, 30)}
+	start := Pose{Translation: chem.V(5, 5, 5), Orientation: chem.QuatIdentity,
+		Torsions: make([]float64, lig.NumTorsions())}
+	a, err := Refine(constScorer{}, lig, box, start, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Refine(constScorer{}, lig, box, start, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FEB != b.FEB {
+		t.Error("refinement not deterministic per seed")
+	}
+}

@@ -1,0 +1,79 @@
+package dock
+
+import (
+	"math"
+
+	"repro/internal/chem"
+)
+
+// NeighborList is a cell-list spatial index over a rigid atom set,
+// used by Vina to find receptor atoms within the interaction cutoff
+// of each ligand atom without O(N·M) scans.
+type NeighborList struct {
+	cutoff  float64
+	min     chem.Vec3
+	dims    [3]int
+	buckets [][]int
+	pos     []chem.Vec3
+}
+
+// NewNeighborList indexes the molecule's atoms with the given cutoff.
+func NewNeighborList(m *chem.Molecule, cutoff float64) *NeighborList {
+	pts := m.Positions()
+	min, max := chem.BoundingBox(pts)
+	nl := &NeighborList{cutoff: cutoff, min: min, pos: pts}
+	span := max.Sub(min)
+	nl.dims[0] = int(span.X/cutoff) + 1
+	nl.dims[1] = int(span.Y/cutoff) + 1
+	nl.dims[2] = int(span.Z/cutoff) + 1
+	nl.buckets = make([][]int, nl.dims[0]*nl.dims[1]*nl.dims[2])
+	for i, p := range pts {
+		b := nl.index(nl.cellOf(p))
+		nl.buckets[b] = append(nl.buckets[b], i)
+	}
+	return nl
+}
+
+func (nl *NeighborList) cellOf(p chem.Vec3) [3]int {
+	return [3]int{
+		int(math.Floor((p.X - nl.min.X) / nl.cutoff)),
+		int(math.Floor((p.Y - nl.min.Y) / nl.cutoff)),
+		int(math.Floor((p.Z - nl.min.Z) / nl.cutoff)),
+	}
+}
+
+func (nl *NeighborList) index(c [3]int) int {
+	for i := 0; i < 3; i++ {
+		if c[i] < 0 {
+			c[i] = 0
+		} else if c[i] >= nl.dims[i] {
+			c[i] = nl.dims[i] - 1
+		}
+	}
+	return (c[2]*nl.dims[1]+c[1])*nl.dims[0] + c[0]
+}
+
+// ForNeighbors calls fn for every indexed atom within cutoff of p,
+// passing the atom index and its distance.
+func (nl *NeighborList) ForNeighbors(p chem.Vec3, fn func(i int, r float64)) {
+	c := nl.cellOf(p)
+	if c[0] < -1 || c[0] > nl.dims[0] || c[1] < -1 || c[1] > nl.dims[1] || c[2] < -1 || c[2] > nl.dims[2] {
+		return
+	}
+	cut2 := nl.cutoff * nl.cutoff
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y, z := c[0]+dx, c[1]+dy, c[2]+dz
+				if x < 0 || x >= nl.dims[0] || y < 0 || y >= nl.dims[1] || z < 0 || z >= nl.dims[2] {
+					continue
+				}
+				for _, i := range nl.buckets[(z*nl.dims[1]+y)*nl.dims[0]+x] {
+					if r2 := nl.pos[i].Dist2(p); r2 <= cut2 {
+						fn(i, math.Sqrt(r2))
+					}
+				}
+			}
+		}
+	}
+}

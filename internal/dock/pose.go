@@ -1,0 +1,170 @@
+// Package dock provides the types shared by both docking engines:
+// poses (the state variables AutoDock optimizes), the search box,
+// scoring interfaces and run results.
+package dock
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/chem"
+)
+
+// Pose is the docking state of a flexible ligand: a rigid-body
+// translation and orientation plus one angle per rotatable bond —
+// exactly AutoDock's genotype.
+type Pose struct {
+	Translation chem.Vec3 // position of the ligand centroid
+	Orientation chem.Quat
+	Torsions    []float64 // radians, one per rotatable bond
+}
+
+// Clone returns a deep copy.
+func (p Pose) Clone() Pose {
+	q := p
+	q.Torsions = append([]float64(nil), p.Torsions...)
+	return q
+}
+
+// Box is the cuboid search space (the grid box for AD4, the
+// config-file box for Vina).
+type Box struct {
+	Center chem.Vec3
+	Size   chem.Vec3 // full edge lengths, Å
+}
+
+// Contains reports whether a point is inside the box.
+func (b Box) Contains(p chem.Vec3) bool {
+	d := p.Sub(b.Center)
+	return math.Abs(d.X) <= b.Size.X/2 &&
+		math.Abs(d.Y) <= b.Size.Y/2 &&
+		math.Abs(d.Z) <= b.Size.Z/2
+}
+
+// Ligand is the conformational model both engines share: the prepared
+// molecule, its torsion tree and base coordinates centred at the
+// origin (so Pose.Translation is the centroid position directly).
+type Ligand struct {
+	Mol      *chem.Molecule
+	Tree     *chem.TorsionTree
+	base     []chem.Vec3 // origin-centred input conformation
+	refCoord []chem.Vec3 // reference (input frame) coordinates for RMSD
+}
+
+// NewLigand builds the conformational model. The reference coordinates
+// for RMSD reporting are the molecule's input coordinates, as AutoDock
+// uses (the input frame may sit far from the receptor pocket, which is
+// why DLG RMSDs of blind dockings are large).
+func NewLigand(mol *chem.Molecule, tree *chem.TorsionTree) (*Ligand, error) {
+	if mol.NumAtoms() == 0 {
+		return nil, fmt.Errorf("dock: ligand %q has no atoms", mol.Name)
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("dock: ligand %q has no torsion tree", mol.Name)
+	}
+	ref := mol.Positions()
+	base := mol.Positions()
+	c := chem.Centroid(base)
+	for i := range base {
+		base[i] = base[i].Sub(c)
+	}
+	return &Ligand{Mol: mol, Tree: tree, base: base, refCoord: ref}, nil
+}
+
+// NumTorsions returns the ligand's rotatable bond count.
+func (l *Ligand) NumTorsions() int { return l.Tree.NumTorsions() }
+
+// Reference returns the input-frame coordinates used for RMSD.
+func (l *Ligand) Reference() []chem.Vec3 { return l.refCoord }
+
+// Coords materializes the atom coordinates of a pose: torsions are
+// applied to the base conformation, the result re-centred, rotated by
+// the orientation and translated.
+func (l *Ligand) Coords(p Pose) []chem.Vec3 {
+	if len(p.Torsions) != l.NumTorsions() {
+		panic(fmt.Sprintf("dock: pose has %d torsions, ligand %d", len(p.Torsions), l.NumTorsions()))
+	}
+	var coords []chem.Vec3
+	if l.NumTorsions() == 0 {
+		coords = append([]chem.Vec3(nil), l.base...)
+	} else {
+		coords = l.Tree.ApplyTorsions(l.base, p.Torsions)
+		c := chem.Centroid(coords)
+		for i := range coords {
+			coords[i] = coords[i].Sub(c)
+		}
+	}
+	q := p.Orientation.Normalize()
+	for i := range coords {
+		coords[i] = q.Rotate(coords[i]).Add(p.Translation)
+	}
+	return coords
+}
+
+// RandomPose samples a uniform pose inside the box with the given
+// RNG: uniform translation, Shoemake-uniform orientation and uniform
+// torsions.
+func RandomPose(r *rand.Rand, box Box, nTorsions int) Pose {
+	p := Pose{
+		Translation: chem.V(
+			box.Center.X+(r.Float64()-0.5)*box.Size.X,
+			box.Center.Y+(r.Float64()-0.5)*box.Size.Y,
+			box.Center.Z+(r.Float64()-0.5)*box.Size.Z,
+		),
+		Orientation: chem.RandomQuat(r.Float64(), r.Float64(), r.Float64()),
+		Torsions:    make([]float64, nTorsions),
+	}
+	for i := range p.Torsions {
+		p.Torsions[i] = (r.Float64()*2 - 1) * math.Pi
+	}
+	return p
+}
+
+// Perturb returns a copy of the pose with gaussian displacement of
+// amplitude dt (Å) on translation, da (radians) on orientation and
+// torsions. Used by Solis-Wets and by Vina's mutation step.
+func Perturb(r *rand.Rand, p Pose, dt, da float64) Pose {
+	q := p.Clone()
+	q.Translation = q.Translation.Add(chem.V(
+		r.NormFloat64()*dt, r.NormFloat64()*dt, r.NormFloat64()*dt))
+	axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+	q.Orientation = chem.AxisAngleQuat(axis, r.NormFloat64()*da).Mul(q.Orientation).Normalize()
+	for i := range q.Torsions {
+		q.Torsions[i] = wrapAngle(q.Torsions[i] + r.NormFloat64()*da)
+	}
+	return q
+}
+
+func wrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// ClampToBox moves the pose translation inside the box if it escaped
+// (AutoDock wraps genes back into the domain).
+func ClampToBox(p *Pose, box Box) {
+	half := box.Size.Scale(0.5)
+	d := p.Translation.Sub(box.Center)
+	if d.X > half.X {
+		d.X = half.X
+	} else if d.X < -half.X {
+		d.X = -half.X
+	}
+	if d.Y > half.Y {
+		d.Y = half.Y
+	} else if d.Y < -half.Y {
+		d.Y = -half.Y
+	}
+	if d.Z > half.Z {
+		d.Z = half.Z
+	} else if d.Z < -half.Z {
+		d.Z = -half.Z
+	}
+	p.Translation = box.Center.Add(d)
+}

@@ -1,0 +1,64 @@
+package dock
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RefineResult is the outcome of a local pose refinement.
+type RefineResult struct {
+	Pose     Pose
+	FEB      float64
+	Improved float64 // energy gained vs the starting pose (≥ 0)
+	Evals    int
+}
+
+// Refine performs the "redocking" refinement §V.D recommends for
+// promising interactions: a Solis-Wets-style adaptive local search
+// around an existing pose, without the global exploration phase. The
+// returned pose is never worse than the input.
+func Refine(s Scorer, lig *Ligand, box Box, start Pose, iterations int, seed int64) (RefineResult, error) {
+	if iterations < 1 {
+		return RefineResult{}, fmt.Errorf("dock: refinement needs ≥ 1 iteration")
+	}
+	if len(start.Torsions) != lig.NumTorsions() {
+		return RefineResult{}, fmt.Errorf("dock: pose has %d torsions, ligand %d",
+			len(start.Torsions), lig.NumTorsions())
+	}
+	r := rand.New(rand.NewSource(seed))
+	cur := start.Clone()
+	curFeb := s.Score(lig.Coords(cur))
+	startFeb := curFeb
+	evals := 1
+	rho := 0.6
+	const rhoMin = 0.005
+	succ, fail := 0, 0
+	for it := 0; it < iterations && rho > rhoMin; it++ {
+		cand := Perturb(r, cur, rho, rho*0.3)
+		ClampToBox(&cand, box)
+		feb := s.Score(lig.Coords(cand))
+		evals++
+		if feb < curFeb {
+			cur, curFeb = cand, feb
+			succ++
+			fail = 0
+		} else {
+			fail++
+			succ = 0
+		}
+		if succ >= 3 {
+			rho *= 1.8
+			succ = 0
+		}
+		if fail >= 3 {
+			rho *= 0.55
+			fail = 0
+		}
+	}
+	return RefineResult{
+		Pose:     cur,
+		FEB:      curFeb,
+		Improved: startFeb - curFeb,
+		Evals:    evals,
+	}, nil
+}

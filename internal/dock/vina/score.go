@@ -1,0 +1,215 @@
+// Package vina reproduces AutoDock Vina 1.1.2: the empirical scoring
+// function of Trott & Olson (2010) and the iterated-local-search
+// Monte Carlo optimizer, SciDock's activity 8b.
+package vina
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chem"
+	"repro/internal/dock"
+)
+
+// Vina scoring-function weights (Trott & Olson 2010, Table 1).
+const (
+	wGauss1     = -0.035579
+	wGauss2     = -0.005156
+	wRepulsion  = +0.840245
+	wHydrophob  = -0.035069
+	wHBond      = -0.587439
+	wRot        = +0.05846 // conformational entropy denominator weight
+	cutoff      = 8.0      // Å
+	intraWeight = 0.3      // internal contribution to the reported affinity
+)
+
+// Scorer evaluates the Vina affinity of a ligand conformation against
+// receptor atoms (Vina computes its own internal grids; scoring
+// directly over a neighbour list is numerically equivalent at these
+// scales).
+type Scorer struct {
+	Receptor *chem.Molecule
+	Lig      *dock.Ligand
+
+	nl         *dock.NeighborList
+	recTypes   []chem.TypeParams
+	ligTypes   []chem.TypeParams
+	ligIsH     []bool
+	intraPairs [][2]int
+	rotFactor  float64
+	intraRef   float64 // internal energy of the input conformation
+}
+
+// NewScorer indexes the receptor and precomputes per-atom parameters.
+func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
+	if receptor.NumAtoms() == 0 {
+		return nil, fmt.Errorf("vina: receptor %q has no atoms", receptor.Name)
+	}
+	s := &Scorer{
+		Receptor:  receptor,
+		Lig:       lig,
+		nl:        dock.NewNeighborList(receptor, cutoff),
+		rotFactor: 1 + wRot*float64(lig.NumTorsions()),
+	}
+	for i, a := range receptor.Atoms {
+		t := a.Type
+		if t == "" {
+			t = chem.TypeForElement(a.Element)
+		}
+		if !t.Params().Supported {
+			return nil, fmt.Errorf("vina: receptor %q atom %d type %s unsupported", receptor.Name, i, t)
+		}
+		s.recTypes = append(s.recTypes, t.Params())
+	}
+	for i, a := range lig.Mol.Atoms {
+		t := a.Type
+		if t == "" {
+			return nil, fmt.Errorf("vina: ligand %q atom %d untyped", lig.Mol.Name, i)
+		}
+		s.ligTypes = append(s.ligTypes, t.Params())
+		s.ligIsH = append(s.ligIsH, !a.Element.IsHeavy())
+	}
+	s.intraPairs = intraPairs14(lig.Mol)
+	// Vina reports affinities relative to the internal energy of the
+	// unbound conformation, so a ligand floating free scores ~0.
+	s.intraRef = s.intraEnergy(lig.Reference())
+	return s, nil
+}
+
+// intraPairs14 lists ligand atom pairs four or more bonds apart
+// (Vina's internal interaction set).
+func intraPairs14(m *chem.Molecule) [][2]int {
+	n := m.NumAtoms()
+	adj := m.Adjacency()
+	var pairs [][2]int
+	dist := make([]int, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if dist[v] >= 4 {
+				continue
+			}
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for j := src + 1; j < n; j++ {
+			if dist[j] < 0 || dist[j] >= 4 {
+				pairs = append(pairs, [2]int{src, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// Score implements dock.Scorer: the Vina affinity in kcal/mol,
+// inter-molecular terms divided by the rotatable-bond factor plus a
+// damped internal term. Hydrogens are invisible to the Vina function.
+func (s *Scorer) Score(coords []chem.Vec3) float64 {
+	var inter float64
+	for i, p := range coords {
+		if s.ligIsH[i] {
+			continue
+		}
+		lt := s.ligTypes[i]
+		s.nl.ForNeighbors(p, func(j int, r float64) {
+			rt := s.recTypes[j]
+			if rt.Type == chem.TypeH || rt.Type == chem.TypeHD {
+				return
+			}
+			inter += pairTerm(lt, rt, r)
+		})
+	}
+	return inter/s.rotFactor + intraWeight*(s.intraEnergy(coords)-s.intraRef)
+}
+
+// ReportedFEB is the affinity Vina prints for a pose: the
+// inter-molecular energy under the rotatable-bond compression, without
+// the internal-energy delta used only to steer the optimizer.
+func (s *Scorer) ReportedFEB(coords []chem.Vec3) float64 {
+	var inter float64
+	for i, p := range coords {
+		if s.ligIsH[i] {
+			continue
+		}
+		lt := s.ligTypes[i]
+		s.nl.ForNeighbors(p, func(j int, r float64) {
+			rt := s.recTypes[j]
+			if rt.Type == chem.TypeH || rt.Type == chem.TypeHD {
+				return
+			}
+			inter += pairTerm(lt, rt, r)
+		})
+	}
+	return inter / s.rotFactor
+}
+
+func (s *Scorer) intraEnergy(coords []chem.Vec3) float64 {
+	var intra float64
+	for _, pr := range s.intraPairs {
+		i, j := pr[0], pr[1]
+		if s.ligIsH[i] || s.ligIsH[j] {
+			continue
+		}
+		r := coords[i].Dist(coords[j])
+		if r <= cutoff {
+			intra += pairTerm(s.ligTypes[i], s.ligTypes[j], r)
+		}
+	}
+	return intra
+}
+
+// pairTerm is the Vina pairwise function on the surface distance
+// d = r − R_i − R_j.
+func pairTerm(a, b chem.TypeParams, r float64) float64 {
+	d := r - (a.Rii/2 + b.Rii/2)
+	e := wGauss1 * gauss(d, 0, 0.5)
+	e += wGauss2 * gauss(d, 3.0, 2.0)
+	if d < 0 {
+		e += wRepulsion * d * d
+	}
+	if a.Hydroph && b.Hydroph {
+		e += wHydrophob * ramp(d, 0.5, 1.5)
+	}
+	if hbondPair(a, b) {
+		e += wHBond * ramp(d, -0.7, 0)
+	}
+	return e
+}
+
+func gauss(d, off, width float64) float64 {
+	x := (d - off) / width
+	return math.Exp(-x * x)
+}
+
+// ramp is 1 below lo, 0 above hi, linear between.
+func ramp(d, lo, hi float64) float64 {
+	if d <= lo {
+		return 1
+	}
+	if d >= hi {
+		return 0
+	}
+	return (hi - d) / (hi - lo)
+}
+
+// hbondPair reports whether the types form a donor/acceptor pair.
+// Vina's heavy-atom convention: a donor is a heavy atom that carries a
+// polar hydrogen; our preparation marks N (with H) and S as donors via
+// the type table, so we treat N/OA/SA acceptors vs N donors.
+func hbondPair(a, b chem.TypeParams) bool {
+	donor := func(p chem.TypeParams) bool {
+		return p.Type == chem.TypeN || p.Type == chem.TypeS // H-bearing by typing rules
+	}
+	acceptor := func(p chem.TypeParams) bool { return p.HBond >= 2 }
+	return (donor(a) && acceptor(b)) || (donor(b) && acceptor(a))
+}

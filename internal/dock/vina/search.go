@@ -1,0 +1,193 @@
+package vina
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chem"
+	"repro/internal/dock"
+	"repro/internal/prep"
+)
+
+// ProgramName is the banner written into log files, matching the
+// version the paper deployed.
+const ProgramName = "AutoDock Vina 1.1.2"
+
+// Engine runs Vina's global optimization with the parameters of the
+// configuration file.
+type Engine struct {
+	Config prep.VinaConfig
+	// StepsPerRestart bounds each Monte-Carlo chain; scaled from the
+	// config's exhaustiveness.
+	StepsPerRestart int
+}
+
+// mode is one distinct binding mode found during search.
+type mode struct {
+	pose dock.Pose
+	feb  float64
+}
+
+// Dock runs iterated-local-search Monte Carlo: `exhaustiveness`
+// independent chains of perturb→local-optimize→Metropolis steps. The
+// distinct low-energy modes become the result's runs, with RMSD
+// reported relative to the best mode — Vina's output convention
+// (mode 1 has RMSD 0).
+func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
+	if e.Config.Exhaustiveness <= 0 {
+		return nil, fmt.Errorf("vina: exhaustiveness %d must be positive", e.Config.Exhaustiveness)
+	}
+	steps := e.StepsPerRestart
+	if steps <= 0 {
+		steps = 40
+	}
+	box := dock.Box{Center: e.Config.Center, Size: e.Config.Size}
+	nt := lig.NumTorsions()
+	var modes []mode
+
+	for chain := 0; chain < e.Config.Exhaustiveness; chain++ {
+		r := rand.New(rand.NewSource(e.Config.Seed + int64(chain)*104729))
+		cur := dock.RandomPose(r, box, nt)
+		cur, curFeb := e.localOptimize(s, lig, box, cur, r)
+		bestPose, bestFeb := cur, curFeb
+		const temperature = 1.2 // kcal/mol, Vina's Metropolis T
+		for step := 0; step < steps; step++ {
+			cand := dock.Perturb(r, cur, 2.0, 0.5)
+			dock.ClampToBox(&cand, box)
+			cand, candFeb := e.localOptimize(s, lig, box, cand, r)
+			if candFeb < curFeb || r.Float64() < math.Exp((curFeb-candFeb)/temperature) {
+				cur, curFeb = cand, candFeb
+				if curFeb < bestFeb {
+					bestPose, bestFeb = cur, curFeb
+				}
+			}
+		}
+		modes = append(modes, mode{pose: bestPose, feb: bestFeb})
+	}
+
+	modes = dedupeModes(lig, modes, 2.0, e.Config.NumModes)
+	res := &dock.Result{
+		Program:  ProgramName,
+		Receptor: e.receptorName(s),
+		Ligand:   lig.Mol.Name,
+		Seed:     e.Config.Seed,
+	}
+	if len(modes) == 0 {
+		return res, nil
+	}
+	bestCoords := lig.Coords(modes[0].pose)
+	for i, m := range modes {
+		rmsd := 0.0
+		if i > 0 {
+			v, err := chem.RMSD(lig.Coords(m.pose), bestCoords)
+			if err != nil {
+				return nil, fmt.Errorf("vina: rmsd: %w", err)
+			}
+			rmsd = v
+		}
+		res.Runs = append(res.Runs, dock.RunResult{
+			Run: i + 1, Pose: m.pose, FEB: m.feb, RMSD: rmsd,
+		})
+	}
+	return res, nil
+}
+
+func (e *Engine) receptorName(s *Scorer) string {
+	if s.Receptor != nil {
+		return s.Receptor.Name
+	}
+	return e.Config.Receptor
+}
+
+// localOptimize is Vina's quasi-Newton refinement, reproduced with a
+// derivative-free compass search over the pose degrees of freedom:
+// each DOF is probed ±step, improvements kept, the step halved on
+// stagnation.
+func (e *Engine) localOptimize(s *Scorer, lig *dock.Ligand, box dock.Box, p dock.Pose, r *rand.Rand) (dock.Pose, float64) {
+	cur := p.Clone()
+	curFeb := s.Score(lig.Coords(cur))
+	step := 1.0
+	for step > 0.12 {
+		improved := false
+		// Translation axes.
+		for axis := 0; axis < 3; axis++ {
+			for _, sign := range []float64{1, -1} {
+				cand := cur.Clone()
+				d := chem.Vec3{}
+				switch axis {
+				case 0:
+					d.X = sign * step
+				case 1:
+					d.Y = sign * step
+				case 2:
+					d.Z = sign * step
+				}
+				cand.Translation = cand.Translation.Add(d)
+				dock.ClampToBox(&cand, box)
+				if feb := s.Score(lig.Coords(cand)); feb < curFeb {
+					cur, curFeb = cand, feb
+					improved = true
+				}
+			}
+		}
+		// One random rotation probe per scale (full orientation
+		// enumeration is wasteful; this matches Vina's stochastic
+		// BFGS restarts in effect).
+		axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+		for _, sign := range []float64{1, -1} {
+			cand := cur.Clone()
+			cand.Orientation = chem.AxisAngleQuat(axis, sign*step*0.4).Mul(cand.Orientation).Normalize()
+			if feb := s.Score(lig.Coords(cand)); feb < curFeb {
+				cur, curFeb = cand, feb
+				improved = true
+			}
+		}
+		// Torsions.
+		for i := range cur.Torsions {
+			for _, sign := range []float64{1, -1} {
+				cand := cur.Clone()
+				cand.Torsions[i] += sign * step * 0.5
+				if feb := s.Score(lig.Coords(cand)); feb < curFeb {
+					cur, curFeb = cand, feb
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return cur, curFeb
+}
+
+// dedupeModes sorts modes by energy and drops poses within rmsdCut of
+// an already-kept mode, keeping at most maxModes.
+func dedupeModes(lig *dock.Ligand, ms []mode, rmsdCut float64, maxModes int) []mode {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].feb < ms[j].feb })
+	if maxModes <= 0 {
+		maxModes = 9
+	}
+	var kept []mode
+	var keptCoords [][]chem.Vec3
+	for _, m := range ms {
+		c := lig.Coords(m.pose)
+		dup := false
+		for _, kc := range keptCoords {
+			if v, err := chem.RMSD(c, kc); err == nil && v < rmsdCut {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		kept = append(kept, m)
+		keptCoords = append(keptCoords, c)
+		if len(kept) >= maxModes {
+			break
+		}
+	}
+	return kept
+}

@@ -1,0 +1,684 @@
+// Package engine reproduces the SciCumulus execution core: it fans a
+// workflow's activations across a simulated EC2 virtual cluster,
+// injects and recovers from activation failures, applies steering
+// rules (the Hg guard of §V.C), stores files on the shared file
+// system and captures full PROV-Wf provenance — while actually
+// executing the activity bodies (real chemistry) on local goroutines.
+//
+// Two clocks coexist: the activity bodies run on wall-clock
+// goroutines, while every activation is also assigned a virtual
+// duration from the calibrated cost model and placed on a virtual
+// cluster by the scheduler. Provenance timestamps are virtual, so the
+// multi-day executions of the paper replay in seconds and the
+// performance figures can be regenerated faithfully.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/mpj"
+	"repro/internal/prov"
+	"repro/internal/sched"
+	"repro/internal/simfs"
+	"repro/internal/workflow"
+)
+
+// ErrLoop marks an activation that entered the "looping state" of
+// §V.C: the program neither finishes nor errors. The engine charges
+// the loop-timeout and aborts the activation.
+var ErrLoop = errors.New("engine: activation entered looping state")
+
+// AbortRule is a steering predicate evaluated before dispatch; a
+// non-empty reason aborts the activation without running it (the
+// routine added to SciCumulus to pre-filter Hg receptors).
+type AbortRule func(activityTag string, t workflow.Tuple) (reason string, abort bool)
+
+// Options configures a run.
+type Options struct {
+	// Cores is the virtual worker-core count (the x-axis of Figures
+	// 7-9). VMs are leased to cover it; extra cores on the last VM
+	// stay idle, as with the paper's 2-core baseline.
+	Cores int
+	// Scheduler plans activations onto VM cores; defaults to the
+	// calibrated greedy scheduler.
+	Scheduler sched.Scheduler
+	// CostModel samples virtual activation costs.
+	CostModel *sched.CostModel
+	// Adaptive, when set, resizes the fleet between stages.
+	Adaptive *sched.AdaptivePolicy
+	// AbortRules are evaluated before each activation.
+	AbortRules []AbortRule
+	// Parallelism caps the wall-clock goroutines running activity
+	// bodies; 0 = GOMAXPROCS.
+	Parallelism int
+	// BaseTime anchors virtual timestamps; zero = 2014-03-01 UTC (the
+	// paper's experiment window).
+	BaseTime time.Time
+	// DisableFailures turns off transient failure injection (for
+	// ablation benchmarks).
+	DisableFailures bool
+	// ProvenanceEstimates makes the scheduler order activations by
+	// the historical mean duration of their activity (mined from the
+	// provenance already captured this run), as SciCumulus' weighted
+	// cost model does — the scheduler cannot know true durations in
+	// advance. Off = oracle ordering (the ablation baseline).
+	ProvenanceEstimates bool
+	// OnStageComplete, when set, is invoked after every activity
+	// stage with a snapshot event — the hook behind the paper's
+	// runtime provenance monitoring and user steering (§IV.B): the
+	// callback may query Engine.DB while the workflow is mid-flight.
+	OnStageComplete func(StageEvent)
+}
+
+// StageEvent is the runtime-steering snapshot delivered after each
+// stage.
+type StageEvent struct {
+	WorkflowID int64
+	Activity   string
+	Stats      ActivityStats
+	Clock      float64 // virtual seconds elapsed since workflow start
+	Engine     *Engine // for runtime provenance queries
+}
+
+// Engine executes workflows.
+type Engine struct {
+	opts    Options
+	DB      *prov.DB
+	FS      *simfs.FS
+	Sim     *cloud.Sim
+	Cluster *cloud.Cluster
+
+	mu       sync.Mutex
+	nextWkf  int64
+	nextAct  int64
+	nextTask int64
+	nextFile int64
+
+	// Per-activity duration history for provenance-based estimates.
+	histSum map[string]float64
+	histN   map[string]int
+}
+
+// ActivityStats aggregates one activity's activations for reports.
+type ActivityStats struct {
+	Tag         string
+	Activations int
+	Failures    int // transient failures recovered by re-execution
+	Aborted     int
+	TotalSecs   float64 // virtual seconds across activations
+	StageSecs   float64 // virtual stage makespan
+}
+
+// Report summarizes one workflow execution.
+type Report struct {
+	WorkflowID  int64
+	TET         float64 // total execution time, virtual seconds
+	Activations int
+	Failures    int
+	Aborted     int
+	CostUSD     float64
+	PerActivity []ActivityStats
+	// Outputs holds the final relation (tuples that survived the
+	// whole chain).
+	Outputs []workflow.Tuple
+}
+
+// New builds an engine with fresh provenance, file system and virtual
+// cluster.
+func New(opts Options) (*Engine, error) {
+	if opts.Cores < 1 {
+		return nil, fmt.Errorf("engine: cores %d must be positive", opts.Cores)
+	}
+	if opts.Scheduler == nil {
+		g := sched.NewGreedy()
+		g.WorkerCap = opts.Cores
+		opts.Scheduler = g
+	}
+	if opts.CostModel == nil {
+		opts.CostModel = sched.NewCostModel()
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.BaseTime.IsZero() {
+		opts.BaseTime = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	db, err := prov.NewProvWfDB()
+	if err != nil {
+		return nil, err
+	}
+	sim := cloud.NewSim()
+	return &Engine{
+		opts:    opts,
+		DB:      db,
+		FS:      simfs.New(),
+		Sim:     sim,
+		Cluster: cloud.NewCluster(sim),
+		histSum: make(map[string]float64),
+		histN:   make(map[string]int),
+	}, nil
+}
+
+// estimateFor returns the provenance-based duration belief for an
+// activity tag: the mean of observed durations, or a neutral 1.0 when
+// the tag has no history yet.
+func (e *Engine) estimateFor(tag string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := e.histN[tag]; n > 0 {
+		return e.histSum[tag] / float64(n)
+	}
+	return 1.0
+}
+
+// observeDuration folds a finished activation into the history.
+func (e *Engine) observeDuration(tag string, secs float64) {
+	e.mu.Lock()
+	e.histSum[tag] += secs
+	e.histN[tag]++
+	e.mu.Unlock()
+}
+
+// vt converts virtual seconds to a provenance timestamp.
+func (e *Engine) vt(secs float64) time.Time {
+	return e.opts.BaseTime.Add(time.Duration(secs * float64(time.Second)))
+}
+
+// advanceSim moves the discrete-event clock forward to the workflow's
+// current virtual time (never backwards).
+func (e *Engine) advanceSim(to float64) {
+	if to > e.Sim.Now() {
+		e.Sim.After(to-e.Sim.Now(), func() {})
+		e.Sim.Run()
+	}
+}
+
+type activationOutcome struct {
+	index   int
+	tuple   workflow.Tuple
+	result  *workflow.ActivationResult
+	err     error
+	aborted string // non-empty: abort reason
+}
+
+// Run executes the workflow over the input relation and returns the
+// execution report. Provenance, files and the virtual bill accumulate
+// on the engine.
+func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if input == nil || input.Size() == 0 {
+		return nil, fmt.Errorf("engine: workflow %q: empty input relation", w.Tag)
+	}
+
+	e.mu.Lock()
+	e.nextWkf++
+	wkfid := e.nextWkf
+	e.mu.Unlock()
+	if err := e.DB.InsertWorkflow(wkfid, w.Tag, w.Description, w.ExecTag, w.ExpDir); err != nil {
+		return nil, err
+	}
+
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	actIDs := make(map[string]int64, len(order))
+	for _, a := range order {
+		e.mu.Lock()
+		e.nextAct++
+		id := e.nextAct
+		e.mu.Unlock()
+		actIDs[a.Tag] = id
+		if err := e.DB.InsertActivity(id, wkfid, a.Tag, w.ExpDir+"template_"+a.Tag+"/", a.Template); err != nil {
+			return nil, err
+		}
+		// The activity's declared Input/Output relations (Figure 2's
+		// <Relation> elements) complete the PROV-Wf schema.
+		if err := e.DB.InsertRelation(id*2-1, id, "rel_in_"+a.Tag, "Input", "input_"+a.Tag+".txt"); err != nil {
+			return nil, err
+		}
+		if err := e.DB.InsertRelation(id*2, id, "rel_out_"+a.Tag, "Output", "output_"+a.Tag+".txt"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Initial fleet.
+	fleet, err := e.Cluster.BuildVirtualCluster(e.opts.Cores)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{WorkflowID: wkfid}
+	outputs := map[string][]workflow.Tuple{}
+	// Workflows on a shared engine run back to back on one virtual
+	// timeline (absolute provenance timestamps); each report's TET is
+	// measured from its own start.
+	start := e.Sim.Now()
+	clock := start
+	// Boot latency of the initial fleet delays the first stage.
+	for _, vm := range fleet {
+		if vm.ReadyAt > clock {
+			clock = vm.ReadyAt
+		}
+	}
+
+	for _, act := range order {
+		var inputs []workflow.Tuple
+		if len(act.Depends) == 0 {
+			inputs = input.Tuples
+		} else {
+			for _, d := range act.Depends {
+				inputs = append(inputs, outputs[d]...)
+			}
+		}
+		if len(inputs) == 0 {
+			outputs[act.Tag] = nil
+			report.PerActivity = append(report.PerActivity, ActivityStats{Tag: act.Tag})
+			continue
+		}
+
+		// Adaptive elasticity: size the fleet for this stage's load.
+		// The simulator clock advances to the current virtual time
+		// first, so newly acquired VMs are billed from now and pay
+		// their boot latency before the stage can use them.
+		if e.opts.Adaptive != nil {
+			e.advanceSim(clock)
+			work := e.estimateStageWork(act.Tag, inputs)
+			desired := e.opts.Adaptive.DesiredCores(work)
+			fleet, err = e.opts.Adaptive.Resize(e.Cluster, desired)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		stats, outs, err := e.runStage(w, act, actIDs[act.Tag], wkfid, inputs, fleet, &clock)
+		if err != nil {
+			return nil, err
+		}
+		outputs[act.Tag] = outs
+		report.PerActivity = append(report.PerActivity, *stats)
+		report.Activations += stats.Activations
+		report.Failures += stats.Failures
+		report.Aborted += stats.Aborted
+		if e.opts.OnStageComplete != nil {
+			e.opts.OnStageComplete(StageEvent{
+				WorkflowID: wkfid,
+				Activity:   act.Tag,
+				Stats:      *stats,
+				Clock:      clock,
+				Engine:     e,
+			})
+		}
+	}
+
+	report.TET = clock - start
+	// Advance the simulator so billing sees the full execution span.
+	e.advanceSim(clock)
+	report.CostUSD = e.Cluster.Cost()
+	if len(order) > 0 {
+		report.Outputs = outputs[order[len(order)-1].Tag]
+	}
+	return report, nil
+}
+
+// estimateStageWork predicts a stage's total reference-core seconds
+// from the cost model (the provenance-driven estimate SciCumulus
+// builds from execution history).
+func (e *Engine) estimateStageWork(tag string, tuples []workflow.Tuple) float64 {
+	mean := e.opts.CostModel.Mean(tag)
+	if mean == 0 {
+		mean = 1
+	}
+	return mean * float64(len(tuples))
+}
+
+// runStage executes one activity over its input tuples: real bodies on
+// goroutines, virtual placement via the scheduler, provenance capture.
+func (e *Engine) runStage(w *workflow.Workflow, act *workflow.Activity, actid, wkfid int64,
+	inputs []workflow.Tuple, fleet []*cloud.VM, clock *float64) (*ActivityStats, []workflow.Tuple, error) {
+
+	var outcomes []activationOutcome
+	if act.Op == workflow.Reduce {
+		outcomes = e.executeReduceBodies(act, inputs)
+	} else {
+		outcomes = e.executeBodies(act, inputs)
+	}
+
+	stats := &ActivityStats{Tag: act.Tag}
+	var activations []sched.Activation
+	actIndex := map[int64]*activationOutcome{}
+	var outs []workflow.Tuple
+
+	for i := range outcomes {
+		oc := &outcomes[i]
+		e.mu.Lock()
+		e.nextTask++
+		taskid := e.nextTask
+		e.mu.Unlock()
+		stats.Activations++
+
+		key := activationKey(act.Tag, oc.tuple)
+		cmd, cmdErr := workflow.Instantiate(act.Template, oc.tuple)
+		if cmdErr != nil {
+			cmd = act.Template // provenance keeps the raw template
+		}
+
+		switch {
+		case oc.aborted != "":
+			// Steering abort: recorded, zero cost.
+			stats.Aborted++
+			start := e.vt(*clock)
+			if err := e.DB.InsertActivation(taskid, actid, wkfid, prov.StatusAborted,
+				start, start, "-", 0, cmd+" # aborted: "+oc.aborted); err != nil {
+				return nil, nil, err
+			}
+		case oc.err != nil && errors.Is(oc.err, ErrLoop):
+			// Looping state: charge the loop timeout, then abort.
+			stats.Aborted++
+			a := sched.Activation{
+				ID: taskid, Tag: act.Tag, Key: key,
+				Attempts: []float64{sched.LoopTimeout},
+			}
+			activations = append(activations, a)
+			actIndex[taskid] = oc
+		case oc.err != nil:
+			// Genuine failure: the tuple is dropped; provenance keeps
+			// the error for the scientist's queries.
+			stats.Aborted++
+			start := e.vt(*clock)
+			if err := e.DB.InsertActivation(taskid, actid, wkfid, prov.StatusFailed,
+				start, start, "-", 0, cmd+" # error: "+oc.err.Error()); err != nil {
+				return nil, nil, err
+			}
+		default:
+			cost := e.opts.CostModel.Sample(act.Tag, key)
+			attempts := []float64{cost}
+			if !e.opts.DisableFailures {
+				attempts = e.opts.CostModel.Attempts(act.Tag, key, cost)
+			}
+			a := sched.Activation{ID: taskid, Tag: act.Tag, Key: key, Attempts: attempts}
+			if e.opts.ProvenanceEstimates {
+				a.Estimate = e.estimateFor(act.Tag)
+			}
+			// Stage the output files now so I/O time lands in the
+			// virtual duration.
+			for _, f := range oc.result.Files {
+				lat, err := e.FS.Write(f.Dir+f.Name, f.Content)
+				if err != nil {
+					return nil, nil, fmt.Errorf("engine: staging %s: %w", f.Name, err)
+				}
+				a.IOTime += lat
+			}
+			activations = append(activations, a)
+			actIndex[taskid] = oc
+		}
+	}
+
+	if len(activations) > 0 {
+		placements, makespan, err := e.opts.Scheduler.Schedule(*clock, activations, fleet)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.StageSecs = makespan
+		for _, p := range placements {
+			oc := actIndex[p.Activation.ID]
+			status := prov.StatusFinished
+			loop := oc.err != nil && errors.Is(oc.err, ErrLoop)
+			if loop {
+				status = prov.StatusAborted
+			}
+			cmd, cmdErr := workflow.Instantiate(act.Template, oc.tuple)
+			if cmdErr != nil {
+				cmd = act.Template
+			}
+			if err := e.DB.InsertActivation(p.Activation.ID, actid, wkfid, status,
+				e.vt(p.Start), e.vt(p.End), p.VMID, int64(p.Failures), cmd); err != nil {
+				return nil, nil, err
+			}
+			stats.Failures += p.Failures
+			stats.TotalSecs += p.End - p.Start
+			if e.opts.ProvenanceEstimates {
+				e.observeDuration(act.Tag, p.End-p.Start)
+			}
+			if loop {
+				continue
+			}
+			// hfile rows + extractor output.
+			for _, f := range oc.result.Files {
+				e.mu.Lock()
+				e.nextFile++
+				fileid := e.nextFile
+				e.mu.Unlock()
+				if err := e.DB.InsertFile(fileid, p.Activation.ID, actid, wkfid,
+					f.Name, int64(len(f.Content)), f.Dir); err != nil {
+					return nil, nil, err
+				}
+			}
+			if err := e.recordExtract(p.Activation.ID, wkfid, oc.result.Extract); err != nil {
+				return nil, nil, err
+			}
+			if err := act.CheckFanOut(oc.result); err != nil {
+				// Contract violation: drop the tuple, keep going.
+				stats.Aborted++
+				continue
+			}
+			outs = append(outs, oc.result.Outputs...)
+		}
+		*clock += makespan
+	}
+	return stats, outs, nil
+}
+
+// Message tags of the engine's MPJ dispatch protocol (mirroring
+// SciCumulus' MPJ-based distribution layer).
+const (
+	tagJob    = 10 // master → worker: activation index to execute
+	tagResult = 11 // worker → master: completed outcome index
+	tagStop   = 12 // master → worker: stage complete
+)
+
+// executeBodies runs the activity body for every tuple using an
+// MPJ-style master/worker dispatch: rank 0 (the master) hands
+// activation indices to worker ranks and collects outcomes, exactly
+// the communication pattern the original SciCumulus built on MPI for
+// Java. Input order of outcomes is preserved.
+func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) []activationOutcome {
+	outcomes := make([]activationOutcome, len(inputs))
+	var pending []int
+	for i, in := range inputs {
+		outcomes[i] = activationOutcome{index: i, tuple: in}
+		// Steering rules run at the master before dispatch (they are
+		// cheap provenance lookups).
+		abortReason := ""
+		for _, rule := range e.opts.AbortRules {
+			if reason, abort := rule(act.Tag, in); abort {
+				abortReason = reason
+				break
+			}
+		}
+		if abortReason != "" {
+			outcomes[i].aborted = abortReason
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return outcomes
+	}
+
+	workers := e.opts.Parallelism
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	comm, err := mpj.NewComm(workers + 1)
+	if err != nil {
+		// Unreachable (workers ≥ 1); degrade to serial execution.
+		for _, i := range pending {
+			runBody(act, &outcomes[i])
+		}
+		return outcomes
+	}
+	defer comm.Close()
+
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(rankID int) {
+			defer wg.Done()
+			rank, err := comm.Rank(rankID)
+			if err != nil {
+				return
+			}
+			for {
+				m, err := rank.Recv(0, mpj.AnyTag)
+				if err != nil || m.Tag == tagStop {
+					return
+				}
+				idx := m.Payload.(int)
+				runBody(act, &outcomes[idx])
+				if rank.Send(0, tagResult, idx) != nil {
+					return
+				}
+			}
+		}(w)
+	}
+
+	master, err := comm.Rank(0)
+	if err != nil {
+		wg.Wait()
+		return outcomes
+	}
+	next := 0
+	inFlight := 0
+	for w := 1; w <= workers && next < len(pending); w++ {
+		master.Send(w, tagJob, pending[next])
+		next++
+		inFlight++
+	}
+	for inFlight > 0 {
+		m, err := master.Recv(mpj.AnySource, tagResult)
+		if err != nil {
+			break
+		}
+		inFlight--
+		if next < len(pending) {
+			master.Send(m.Source, tagJob, pending[next])
+			next++
+			inFlight++
+		}
+	}
+	for w := 1; w <= workers; w++ {
+		master.Send(w, tagStop, nil)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// executeReduceBodies runs a Reduce activity: inputs are grouped by
+// the activity's GroupKey (group order follows first appearance) and
+// RunReduce executes once per group — one activation per group, as
+// the SciCumulus algebra defines. Groups run concurrently on a
+// bounded pool.
+func (e *Engine) executeReduceBodies(act *workflow.Activity, inputs []workflow.Tuple) []activationOutcome {
+	groups := map[string][]workflow.Tuple{}
+	var order []string
+	for _, in := range inputs {
+		k := in[act.GroupKey]
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], in)
+	}
+	outcomes := make([]activationOutcome, len(order))
+	sem := make(chan struct{}, e.opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, key := range order {
+		group := groups[key]
+		// The activation's tuple identity is the group key (used for
+		// provenance commands, steering and cost sampling).
+		outcomes[i] = activationOutcome{index: i, tuple: workflow.Tuple{act.GroupKey: key}}
+		abortReason := ""
+		for _, rule := range e.opts.AbortRules {
+			if reason, abort := rule(act.Tag, outcomes[i].tuple); abort {
+				abortReason = reason
+				break
+			}
+		}
+		if abortReason != "" {
+			outcomes[i].aborted = abortReason
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, group []workflow.Tuple) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					outcomes[i].err = fmt.Errorf("engine: reduce activation panicked: %v", r)
+				}
+			}()
+			res, err := act.RunReduce(group)
+			outcomes[i].result = res
+			outcomes[i].err = err
+		}(i, group)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// runBody executes one activation body, containing panics.
+func runBody(act *workflow.Activity, oc *activationOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			oc.err = fmt.Errorf("engine: activation panicked: %v", r)
+		}
+	}()
+	res, err := act.Run(oc.tuple)
+	oc.result = res
+	oc.err = err
+}
+
+// recordExtract stores domain extractor output into the ddocking
+// table when the activation produced docking fields.
+func (e *Engine) recordExtract(taskid, wkfid int64, extract map[string]string) error {
+	if extract == nil {
+		return nil
+	}
+	rec, ok1 := extract["receptor"]
+	lig, ok2 := extract["ligand"]
+	if !ok1 || !ok2 {
+		return nil
+	}
+	feb := parseFloatDefault(extract["feb"], 0)
+	rmsd := parseFloatDefault(extract["rmsd"], 0)
+	nruns := int64(parseFloatDefault(extract["nruns"], 0))
+	return e.DB.InsertDocking(taskid, wkfid, rec, lig, extract["program"], feb, rmsd, nruns)
+}
+
+func parseFloatDefault(s string, def float64) float64 {
+	if s == "" {
+		return def
+	}
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		return def
+	}
+	return f
+}
+
+func activationKey(tag string, t workflow.Tuple) string {
+	lig := t["LIGAND"]
+	rec := t["RECEPTOR"]
+	if lig == "" && rec == "" {
+		return t.String()
+	}
+	return lig + "_" + rec
+}

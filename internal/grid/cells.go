@@ -1,0 +1,96 @@
+package grid
+
+import (
+	"math"
+
+	"repro/internal/chem"
+)
+
+// cellList bins receptor atoms into cubic cells of edge = cutoff so a
+// neighbourhood query only visits the 27 surrounding cells. This keeps
+// map generation O(points × local atoms) instead of O(points × atoms).
+type cellList struct {
+	cell    float64
+	min     chem.Vec3
+	dims    [3]int
+	buckets [][]int
+	atoms   []chem.Vec3
+}
+
+func buildCellList(m *chem.Molecule, cutoff float64) *cellList {
+	pts := m.Positions()
+	min, max := chem.BoundingBox(pts)
+	cl := &cellList{cell: cutoff, min: min, atoms: pts}
+	span := max.Sub(min)
+	cl.dims[0] = int(span.X/cutoff) + 1
+	cl.dims[1] = int(span.Y/cutoff) + 1
+	cl.dims[2] = int(span.Z/cutoff) + 1
+	cl.buckets = make([][]int, cl.dims[0]*cl.dims[1]*cl.dims[2])
+	for i, p := range pts {
+		b := cl.bucketIndex(p)
+		cl.buckets[b] = append(cl.buckets[b], i)
+	}
+	return cl
+}
+
+func (cl *cellList) coords(p chem.Vec3) (int, int, int) {
+	cx := int(math.Floor((p.X - cl.min.X) / cl.cell))
+	cy := int(math.Floor((p.Y - cl.min.Y) / cl.cell))
+	cz := int(math.Floor((p.Z - cl.min.Z) / cl.cell))
+	return cx, cy, cz
+}
+
+func (cl *cellList) bucketIndex(p chem.Vec3) int {
+	cx, cy, cz := cl.coords(p)
+	return cl.clampIndex(cx, cy, cz)
+}
+
+func (cl *cellList) clampIndex(cx, cy, cz int) int {
+	if cx < 0 {
+		cx = 0
+	} else if cx >= cl.dims[0] {
+		cx = cl.dims[0] - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= cl.dims[1] {
+		cy = cl.dims[1] - 1
+	}
+	if cz < 0 {
+		cz = 0
+	} else if cz >= cl.dims[2] {
+		cz = cl.dims[2] - 1
+	}
+	return (cz*cl.dims[1]+cy)*cl.dims[0] + cx
+}
+
+// forNeighbors invokes fn with the index of every atom in the 27 cells
+// around p. Points far outside the receptor volume visit the clamped
+// boundary cells, which is safe (distance check happens in the
+// caller).
+func (cl *cellList) forNeighbors(p chem.Vec3, fn func(atom int)) {
+	cx, cy, cz := cl.coords(p)
+	// Entirely out of range beyond one cell: nothing within cutoff.
+	if cx < -1 || cx > cl.dims[0] || cy < -1 || cy > cl.dims[1] || cz < -1 || cz > cl.dims[2] {
+		return
+	}
+	seen := -1 // dedupe consecutive clamped buckets
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y, z := cx+dx, cy+dy, cz+dz
+				if x < 0 || x >= cl.dims[0] || y < 0 || y >= cl.dims[1] || z < 0 || z >= cl.dims[2] {
+					continue
+				}
+				b := (z*cl.dims[1]+y)*cl.dims[0] + x
+				if b == seen {
+					continue
+				}
+				seen = b
+				for _, ai := range cl.buckets[b] {
+					fn(ai)
+				}
+			}
+		}
+	}
+}

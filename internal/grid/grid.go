@@ -1,0 +1,277 @@
+// Package grid reproduces AutoGrid 4 (SciDock activity 5): it
+// precomputes, for a rigid receptor, one affinity map per ligand atom
+// type plus electrostatic and desolvation maps on a regular lattice,
+// and serves trilinearly interpolated lookups to the AutoDock 4
+// docking engine.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chem"
+)
+
+// Spec describes the lattice: centre, points per axis and spacing, the
+// same fields the GPF carries.
+type Spec struct {
+	Center  chem.Vec3
+	NPts    [3]int // points per dimension
+	Spacing float64
+}
+
+// Origin returns the position of grid node (0,0,0).
+func (s Spec) Origin() chem.Vec3 {
+	return s.Center.Sub(chem.V(
+		float64(s.NPts[0]-1)/2*s.Spacing,
+		float64(s.NPts[1]-1)/2*s.Spacing,
+		float64(s.NPts[2]-1)/2*s.Spacing,
+	))
+}
+
+// NumPoints returns the total lattice size.
+func (s Spec) NumPoints() int { return s.NPts[0] * s.NPts[1] * s.NPts[2] }
+
+// Validate checks the spec is usable.
+func (s Spec) Validate() error {
+	for i, n := range s.NPts {
+		if n < 2 {
+			return fmt.Errorf("grid: npts[%d] = %d, need ≥ 2", i, n)
+		}
+	}
+	if s.Spacing <= 0 {
+		return fmt.Errorf("grid: spacing %v must be positive", s.Spacing)
+	}
+	return nil
+}
+
+// OutOfBoxPenalty is the energy returned for lookups outside the grid
+// box, mirroring AutoDock's wall behaviour that confines the search.
+const OutOfBoxPenalty = 1e4
+
+// EnergyClamp caps per-point map values so close contacts do not
+// produce infinities (AutoGrid clamps at 100,000).
+const energyClamp = 1e5
+
+// interactionCutoff is the non-bonded cutoff in Å (AutoGrid uses 8 Å).
+const interactionCutoff = 8.0
+
+// smoothRadius is AutoGrid's default potential smoothing (the GPF
+// "smooth 0.5" keyword): the pairwise potential at r is replaced by
+// its minimum over |r'-r| ≤ smooth/2, flattening the well bottom so
+// small coordinate errors in crystal structures are not punished.
+const smoothRadius = 0.5
+
+// Maps holds every precomputed map for one receptor.
+type Maps struct {
+	Spec     Spec
+	Receptor string
+	affinity map[chem.AtomType][]float64
+	elec     []float64
+	desolv   []float64
+}
+
+// Types returns the atom types with affinity maps, in no particular
+// order.
+func (m *Maps) Types() []chem.AtomType {
+	out := make([]chem.AtomType, 0, len(m.affinity))
+	for t := range m.affinity {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Generate runs AutoGrid: for every lattice point, accumulate the
+// pairwise receptor interaction for each requested probe type, plus
+// electrostatic and desolvation terms. Receptor atoms are binned into
+// cells so each point only visits atoms within the cutoff.
+func Generate(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if receptor.NumAtoms() == 0 {
+		return nil, fmt.Errorf("grid: receptor %q has no atoms", receptor.Name)
+	}
+	for _, t := range types {
+		if !t.Params().Supported {
+			return nil, fmt.Errorf("grid: probe type %s has no parameters", t)
+		}
+	}
+	for i, a := range receptor.Atoms {
+		if !a.Element.Info().DockSupported {
+			return nil, fmt.Errorf("grid: receptor %q atom %d (%s) unsupported",
+				receptor.Name, i, a.Element)
+		}
+	}
+
+	cells := buildCellList(receptor, interactionCutoff)
+	n := spec.NumPoints()
+	m := &Maps{
+		Spec:     spec,
+		Receptor: receptor.Name,
+		affinity: make(map[chem.AtomType][]float64, len(types)),
+		elec:     make([]float64, n),
+		desolv:   make([]float64, n),
+	}
+	for _, t := range types {
+		if _, dup := m.affinity[t]; dup {
+			continue
+		}
+		m.affinity[t] = make([]float64, n)
+	}
+	probes := make([]chem.TypeParams, 0, len(m.affinity))
+	probeSlices := make([][]float64, 0, len(m.affinity))
+	for t, sl := range m.affinity {
+		probes = append(probes, t.Params())
+		probeSlices = append(probeSlices, sl)
+	}
+
+	origin := spec.Origin()
+	idx := 0
+	for k := 0; k < spec.NPts[2]; k++ {
+		for j := 0; j < spec.NPts[1]; j++ {
+			for i := 0; i < spec.NPts[0]; i++ {
+				p := origin.Add(chem.V(
+					float64(i)*spec.Spacing,
+					float64(j)*spec.Spacing,
+					float64(k)*spec.Spacing,
+				))
+				var elec, desolv float64
+				affin := make([]float64, len(probes))
+				cells.forNeighbors(p, func(ai int) {
+					a := &receptor.Atoms[ai]
+					r2 := a.Pos.Dist2(p)
+					if r2 > interactionCutoff*interactionCutoff {
+						return
+					}
+					r := math.Sqrt(r2)
+					if r < 0.5 {
+						r = 0.5 // AutoGrid's rmin clamp
+					}
+					elec += electrostaticTerm(a.Charge, r)
+					desolv += desolvationTerm(a, r)
+					at := a.Type
+					if at == "" {
+						at = chem.TypeForElement(a.Element)
+					}
+					ap := at.Params()
+					for pi := range probes {
+						affin[pi] += PairEnergySmoothed(probes[pi], ap, r, smoothRadius)
+					}
+				})
+				m.elec[idx] = clamp(elec)
+				m.desolv[idx] = clamp(desolv)
+				for pi := range probes {
+					probeSlices[pi][idx] = clamp(affin[pi])
+				}
+				idx++
+			}
+		}
+	}
+	return m, nil
+}
+
+func clamp(e float64) float64 {
+	if e > energyClamp {
+		return energyClamp
+	}
+	if e < -energyClamp {
+		return -energyClamp
+	}
+	return e
+}
+
+// PairEnergy is the AD4 pairwise dispersion/repulsion potential
+// between a probe (ligand) type and a receptor type at distance r:
+// a 12-6 Lennard-Jones for ordinary pairs and a directional-averaged
+// 12-10 well for hydrogen-bonding pairs.
+func PairEnergy(probe, rec chem.TypeParams, r float64) float64 {
+	rij := (probe.Rii + rec.Rii) / 2
+	eps := math.Sqrt(probe.Epsii * rec.Epsii)
+	hbond := (probe.HBond == 1 && rec.HBond >= 2) || (probe.HBond >= 2 && rec.HBond == 1)
+	q := rij / r
+	if hbond {
+		// AD4's 12-10 hydrogen-bond well, ~5× deeper than dispersion:
+		// E = ε_hb (5 (rij/r)^12 − 6 (rij/r)^10).
+		eps *= 5
+		q2 := q * q
+		q10 := q2 * q2 * q2 * q2 * q2
+		return eps * (5*q10*q2 - 6*q10)
+	}
+	// Ordinary 12-6 Lennard-Jones: E = ε ((rij/r)^12 − 2 (rij/r)^6).
+	q6 := q * q * q
+	q6 *= q6
+	return eps * (q6*q6 - 2*q6)
+}
+
+// PairEnergySmoothed applies AutoGrid's potential smoothing to
+// PairEnergy: the value at r is the minimum of the raw potential over
+// the window |r'-r| ≤ smooth/2. Both potentials used here decrease
+// monotonically to their single minimum at rmin and increase beyond,
+// so the windowed minimum is analytic:
+//
+//	r window contains rmin → E(rmin)
+//	window left of rmin    → E(r + smooth/2)
+//	window right of rmin   → E(r - smooth/2)
+func PairEnergySmoothed(probe, rec chem.TypeParams, r, smooth float64) float64 {
+	if smooth <= 0 {
+		return PairEnergy(probe, rec, r)
+	}
+	half := smooth / 2
+	rij := (probe.Rii + rec.Rii) / 2
+	// The 12-6 minimum sits at rij; the 12-10 at rij as well (both
+	// are parameterized so the well bottom is at the radius sum).
+	switch {
+	case r+half < rij:
+		return PairEnergy(probe, rec, r+half)
+	case r-half > rij:
+		return PairEnergy(probe, rec, r-half)
+	default:
+		return PairEnergy(probe, rec, rij)
+	}
+}
+
+// electrostaticTerm is the Coulomb interaction of a unit probe charge
+// with receptor charge q at distance r, using the sigmoidal
+// distance-dependent dielectric of Mehler & Solmajer that AutoGrid
+// applies (approximated by ε(r) = 4r for r > 1).
+func electrostaticTerm(q, r float64) float64 {
+	const coulomb = 332.06 // kcal·Å/(mol·e²)
+	eps := dielectric(r)
+	return coulomb * q / (eps * r)
+}
+
+// dielectric is the sigmoidal distance-dependent dielectric of
+// Mehler & Solmajer (1991), the function AutoGrid applies:
+//
+//	ε(r) = A + B / (1 + k·exp(−λBr))
+//
+// with A = −8.5525, B = ε₀ − A = 86.9525, k = 7.7839 and
+// λ = 0.003627. ε rises from ~1 at contact toward bulk water's ~78.
+func dielectric(r float64) float64 {
+	const (
+		a      = -8.5525
+		bCoef  = 78.4 - a
+		k      = 7.7839
+		lambda = 0.003627
+	)
+	e := a + bCoef/(1+k*math.Exp(-lambda*bCoef*r))
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// desolvationTerm is the gaussian-weighted atomic desolvation term of
+// the AD4 force field.
+func desolvationTerm(a *chem.Atom, r float64) float64 {
+	const sigma = 3.6
+	at := a.Type
+	if at == "" {
+		at = chem.TypeForElement(a.Element)
+	}
+	p := at.Params()
+	w := math.Exp(-r * r / (2 * sigma * sigma))
+	// Volume × solvation parameter, plus a charge-dependent component.
+	return (p.SolPar*p.SolVol + 0.01097*math.Abs(a.Charge)*p.SolVol) * w * 0.1
+}

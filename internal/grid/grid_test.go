@@ -1,0 +1,350 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/data"
+	"repro/internal/prep"
+)
+
+func preparedReceptor(t testing.TB, code string) *chem.Molecule {
+	t.Helper()
+	rec, _ := data.GenerateReceptor(code)
+	out, err := prep.PrepareReceptor(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func smallSpec(rec *chem.Molecule) Spec {
+	min, max := chem.BoundingBox(rec.Positions())
+	return Spec{Center: min.Lerp(max, 0.5), NPts: [3]int{12, 12, 12}, Spacing: 2.0}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{NPts: [3]int{2, 2, 2}, Spacing: 1}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{NPts: [3]int{1, 2, 2}, Spacing: 1}).Validate(); err == nil {
+		t.Error("npts=1 accepted")
+	}
+	if err := (Spec{NPts: [3]int{2, 2, 2}, Spacing: 0}).Validate(); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestSpecOrigin(t *testing.T) {
+	s := Spec{Center: chem.V(0, 0, 0), NPts: [3]int{11, 11, 11}, Spacing: 1}
+	if got := s.Origin(); !vecClose(got, chem.V(-5, -5, -5), 1e-12) {
+		t.Errorf("origin = %v", got)
+	}
+	if s.NumPoints() != 11*11*11 {
+		t.Errorf("NumPoints = %d", s.NumPoints())
+	}
+}
+
+func vecClose(a, b chem.Vec3, tol float64) bool { return a.Dist(b) <= tol }
+
+func TestGenerateAndInterpolate(t *testing.T) {
+	rec := preparedReceptor(t, "2HHN")
+	spec := smallSpec(rec)
+	maps, err := Generate(rec, spec, []chem.AtomType{chem.TypeC, chem.TypeOA, chem.TypeHD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps.Types()) != 3 {
+		t.Errorf("types = %v", maps.Types())
+	}
+	// Lattice-point lookups equal stored values (interpolation exact
+	// at nodes): probe the centre.
+	c := spec.Center
+	v, err := maps.AffinityAt(chem.TypeC, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("affinity at centre = %v", v)
+	}
+	if !maps.InBox(c) {
+		t.Error("centre not in box")
+	}
+	// Outside the box: penalty.
+	far := c.Add(chem.V(1e3, 0, 0))
+	if maps.InBox(far) {
+		t.Error("far point in box")
+	}
+	got, err := maps.AffinityAt(chem.TypeC, far)
+	if err != nil || got != OutOfBoxPenalty {
+		t.Errorf("out-of-box affinity = %v, %v", got, err)
+	}
+	if maps.ElectrostaticAt(far) != OutOfBoxPenalty {
+		t.Error("out-of-box electrostatics not penalized")
+	}
+	// Missing map type errors.
+	if _, err := maps.AffinityAt(chem.TypeZn, c); err == nil {
+		t.Error("missing map accepted")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rec := preparedReceptor(t, "1AIM")
+	if _, err := Generate(rec, Spec{}, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := Generate(&chem.Molecule{Name: "E"}, smallSpec(rec), nil); err == nil {
+		t.Error("empty receptor accepted")
+	}
+	if _, err := Generate(rec, smallSpec(rec), []chem.AtomType{chem.TypeHg}); err == nil {
+		t.Error("unsupported probe accepted")
+	}
+	hg := rec.Clone()
+	hg.Atoms = append(hg.Atoms, chem.Atom{Name: "HG", Element: chem.Mercury, Type: chem.TypeHg})
+	if _, err := Generate(hg, smallSpec(rec), []chem.AtomType{chem.TypeC}); err == nil {
+		t.Error("Hg receptor accepted by autogrid")
+	}
+}
+
+// Interpolation must be continuous: neighbouring queries give close
+// values, and node queries match direct map values.
+func TestInterpolationContinuity(t *testing.T) {
+	rec := preparedReceptor(t, "1HUC")
+	spec := smallSpec(rec)
+	maps, err := Generate(rec, spec, []chem.AtomType{chem.TypeC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	o := spec.Origin()
+	extent := float64(spec.NPts[0]-2) * spec.Spacing
+	for i := 0; i < 200; i++ {
+		p := o.Add(chem.V(r.Float64()*extent, r.Float64()*extent, r.Float64()*extent))
+		v1, _ := maps.AffinityAt(chem.TypeC, p)
+		v2, _ := maps.AffinityAt(chem.TypeC, p.Add(chem.V(1e-7, 0, 0)))
+		if math.Abs(v1-v2) > 1 {
+			t.Fatalf("discontinuity at %v: %v vs %v", p, v1, v2)
+		}
+	}
+}
+
+// The pocket centre of a receptor should be attractive (negative
+// affinity) for a carbon probe: this is the physical sanity check that
+// docking can find favourable poses at all.
+func TestPocketIsAttractive(t *testing.T) {
+	rec, info := data.GenerateReceptor("1S4V")
+	prec, err := prep.PrepareReceptor(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Center: chem.Vec3{}, NPts: [3]int{10, 10, 10}, Spacing: 1.0}
+	maps, err := Generate(prec, spec, []chem.AtomType{chem.TypeC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := maps.AffinityAt(chem.TypeC, chem.Vec3{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 0 {
+		t.Errorf("pocket centre affinity = %v (pocket radius %.1f), want attractive", v, info.PocketR)
+	}
+}
+
+func TestPairEnergyShape(t *testing.T) {
+	c := chem.TypeC.Params()
+	// Minimum at r = Rij, repulsive well inside, attractive outside.
+	rij := c.Rii
+	atMin := PairEnergy(c, c, rij)
+	if !closeTo(atMin, -c.Epsii, 1e-9) {
+		t.Errorf("well depth = %v, want %v", atMin, -c.Epsii)
+	}
+	if PairEnergy(c, c, rij*0.7) < 0 {
+		t.Error("short range should be repulsive")
+	}
+	if e := PairEnergy(c, c, rij*1.5); e >= 0 || e < atMin {
+		t.Errorf("long range energy = %v, want in (%v, 0)", e, atMin)
+	}
+	// H-bond pair deeper than dispersion pair.
+	hd := chem.TypeHD.Params()
+	oa := chem.TypeOA.Params()
+	hbondMin := PairEnergy(hd, oa, (hd.Rii+oa.Rii)/2)
+	plainMin := -math.Sqrt(hd.Epsii * oa.Epsii)
+	if hbondMin >= plainMin {
+		t.Errorf("hbond well %v not deeper than plain %v", hbondMin, plainMin)
+	}
+}
+
+func closeTo(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMapFileRoundTrip(t *testing.T) {
+	rec := preparedReceptor(t, "1PIP")
+	// Exactly representable centre so the %.3f header round-trips.
+	spec := Spec{Center: chem.V(0.5, -1.25, 2), NPts: [3]int{6, 6, 6}, Spacing: 2}
+	maps, err := Generate(rec, spec, []chem.AtomType{chem.TypeC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := maps.WriteMap(&buf, "C"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMap(bytes.NewReader(buf.Bytes()), "C", "t.map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.NPts != spec.NPts {
+		t.Errorf("npts = %v", got.Spec.NPts)
+	}
+	if math.Abs(got.Spec.Spacing-spec.Spacing) > 1e-9 {
+		t.Errorf("spacing = %v", got.Spec.Spacing)
+	}
+	// Values survive within write precision at a lattice node.
+	p := spec.Origin()
+	v1, _ := maps.AffinityAt(chem.TypeC, p)
+	v2, _ := got.AffinityAt(chem.TypeC, p)
+	// Out-of-precision clamped values still match within 0.01.
+	if math.Abs(v1-v2) > 0.01 && math.Abs(v1-v2)/math.Abs(v1+1e-12) > 1e-3 {
+		t.Errorf("value drift: %v vs %v", v1, v2)
+	}
+	// Electrostatic and desolvation map files round-trip too.
+	buf.Reset()
+	if err := maps.WriteMap(&buf, "e"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseMap(bytes.NewReader(buf.Bytes()), "e", "t.e.map"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown map name errors.
+	if err := maps.WriteMap(&buf, "Zn"); err == nil {
+		t.Error("unknown map written")
+	}
+}
+
+func TestParseMapErrors(t *testing.T) {
+	if _, err := ParseMap(bytes.NewReader([]byte("SPACING x\n")), "C", "t"); err == nil {
+		t.Error("bad spacing accepted")
+	}
+	short := "SPACING 1\nNELEMENTS 2 2 2\nCENTER 0 0 0\n1.0\n"
+	if _, err := ParseMap(bytes.NewReader([]byte(short)), "C", "t"); err == nil {
+		t.Error("value-count mismatch accepted")
+	}
+}
+
+func TestWriteFLD(t *testing.T) {
+	rec := preparedReceptor(t, "1PAD")
+	spec := Spec{Center: rec.Centroid(), NPts: [3]int{4, 4, 4}, Spacing: 3}
+	maps, err := Generate(rec, spec, []chem.AtomType{chem.TypeC, chem.TypeOA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := maps.WriteFLD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"ndim=3", "dim1=4", ".e.map", ".d.map"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("fld missing %q", want)
+		}
+	}
+}
+
+func TestCellListCoversAllAtoms(t *testing.T) {
+	rec := preparedReceptor(t, "9PAP")
+	cl := buildCellList(rec, 8)
+	// Querying at every atom position must at least see that atom.
+	for i, a := range rec.Atoms {
+		found := false
+		cl.forNeighbors(a.Pos, func(j int) {
+			if j == i {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("atom %d not found by its own query", i)
+		}
+	}
+	// Cell list must agree with brute force within the cutoff.
+	q := rec.Centroid()
+	brute := map[int]bool{}
+	for i, a := range rec.Atoms {
+		if a.Pos.Dist(q) <= 8 {
+			brute[i] = true
+		}
+	}
+	got := map[int]bool{}
+	cl.forNeighbors(q, func(j int) {
+		if rec.Atoms[j].Pos.Dist(q) <= 8 {
+			got[j] = true
+		}
+	})
+	if len(got) != len(brute) {
+		t.Fatalf("cell list found %d atoms in cutoff, brute force %d", len(got), len(brute))
+	}
+}
+
+func BenchmarkGenerateMaps(b *testing.B) {
+	rec := preparedReceptor(b, "2HHN")
+	spec := Spec{Center: rec.Centroid(), NPts: [3]int{24, 24, 24}, Spacing: 1.0}
+	types := []chem.AtomType{chem.TypeC, chem.TypeN, chem.TypeOA, chem.TypeHD}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(rec, spec, types); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPairEnergySmoothed(t *testing.T) {
+	c := chem.TypeC.Params()
+	rij := c.Rii
+	// Inside the window around the minimum: flat at the well depth.
+	for _, r := range []float64{rij - 0.2, rij, rij + 0.2} {
+		if got := PairEnergySmoothed(c, c, r, 0.5); !closeTo(got, -c.Epsii, 1e-9) {
+			t.Errorf("smoothed(%v) = %v, want %v", r, got, -c.Epsii)
+		}
+	}
+	// Outside the window: shifted toward the minimum by smooth/2.
+	r := rij + 1.0
+	if got, want := PairEnergySmoothed(c, c, r, 0.5), PairEnergy(c, c, r-0.25); !closeTo(got, want, 1e-12) {
+		t.Errorf("right side smoothed = %v, want %v", got, want)
+	}
+	r = rij - 1.0
+	if got, want := PairEnergySmoothed(c, c, r, 0.5), PairEnergy(c, c, r+0.25); !closeTo(got, want, 1e-12) {
+		t.Errorf("left side smoothed = %v, want %v", got, want)
+	}
+	// Smoothing never raises the energy.
+	for r := 2.0; r < 8; r += 0.1 {
+		if PairEnergySmoothed(c, c, r, 0.5) > PairEnergy(c, c, r)+1e-12 {
+			t.Fatalf("smoothing raised energy at r=%v", r)
+		}
+	}
+	// Zero smooth is the raw potential.
+	if PairEnergySmoothed(c, c, 3.3, 0) != PairEnergy(c, c, 3.3) {
+		t.Error("zero smooth changed potential")
+	}
+}
+
+func TestMehlerSolmajerDielectric(t *testing.T) {
+	// Near contact: low dielectric (screened vacuum-like).
+	if e := dielectric(1.0); e < 1 || e > 10 {
+		t.Errorf("ε(1Å) = %v, want small", e)
+	}
+	// Long range: approaches bulk water (~78).
+	if e := dielectric(50); e < 60 || e > 79 {
+		t.Errorf("ε(50Å) = %v, want near 78", e)
+	}
+	// Monotone increasing.
+	prev := 0.0
+	for r := 0.5; r < 30; r += 0.5 {
+		e := dielectric(r)
+		if e < prev {
+			t.Fatalf("dielectric not monotone at r=%v", r)
+		}
+		prev = e
+	}
+}

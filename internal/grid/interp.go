@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chem"
+)
+
+// InBox reports whether p lies inside the grid volume.
+func (m *Maps) InBox(p chem.Vec3) bool {
+	o := m.Spec.Origin()
+	d := p.Sub(o)
+	return d.X >= 0 && d.Y >= 0 && d.Z >= 0 &&
+		d.X <= float64(m.Spec.NPts[0]-1)*m.Spec.Spacing &&
+		d.Y <= float64(m.Spec.NPts[1]-1)*m.Spec.Spacing &&
+		d.Z <= float64(m.Spec.NPts[2]-1)*m.Spec.Spacing
+}
+
+// AffinityAt returns the trilinearly interpolated affinity of the
+// probe type at p, or OutOfBoxPenalty outside the grid. Requesting a
+// type without a map returns an error (a workflow wiring bug).
+func (m *Maps) AffinityAt(t chem.AtomType, p chem.Vec3) (float64, error) {
+	sl, ok := m.affinity[t]
+	if !ok {
+		return 0, fmt.Errorf("grid: no %s map for receptor %s", t, m.Receptor)
+	}
+	return m.interpolate(sl, p), nil
+}
+
+// ElectrostaticAt returns the interpolated electrostatic potential
+// (per unit charge) at p.
+func (m *Maps) ElectrostaticAt(p chem.Vec3) float64 {
+	return m.interpolate(m.elec, p)
+}
+
+// DesolvationAt returns the interpolated desolvation energy at p.
+func (m *Maps) DesolvationAt(p chem.Vec3) float64 {
+	return m.interpolate(m.desolv, p)
+}
+
+// interpolate performs trilinear interpolation on one map slice.
+func (m *Maps) interpolate(sl []float64, p chem.Vec3) float64 {
+	o := m.Spec.Origin()
+	fx := (p.X - o.X) / m.Spec.Spacing
+	fy := (p.Y - o.Y) / m.Spec.Spacing
+	fz := (p.Z - o.Z) / m.Spec.Spacing
+	nx, ny, nz := m.Spec.NPts[0], m.Spec.NPts[1], m.Spec.NPts[2]
+	if fx < 0 || fy < 0 || fz < 0 ||
+		fx > float64(nx-1) || fy > float64(ny-1) || fz > float64(nz-1) {
+		return OutOfBoxPenalty
+	}
+	ix := int(math.Floor(fx))
+	iy := int(math.Floor(fy))
+	iz := int(math.Floor(fz))
+	if ix >= nx-1 {
+		ix = nx - 2
+	}
+	if iy >= ny-1 {
+		iy = ny - 2
+	}
+	if iz >= nz-1 {
+		iz = nz - 2
+	}
+	tx := fx - float64(ix)
+	ty := fy - float64(iy)
+	tz := fz - float64(iz)
+	at := func(i, j, k int) float64 {
+		return sl[(k*ny+j)*nx+i]
+	}
+	c00 := at(ix, iy, iz)*(1-tx) + at(ix+1, iy, iz)*tx
+	c10 := at(ix, iy+1, iz)*(1-tx) + at(ix+1, iy+1, iz)*tx
+	c01 := at(ix, iy, iz+1)*(1-tx) + at(ix+1, iy, iz+1)*tx
+	c11 := at(ix, iy+1, iz+1)*(1-tx) + at(ix+1, iy+1, iz+1)*tx
+	c0 := c00*(1-ty) + c10*ty
+	c1 := c01*(1-ty) + c11*ty
+	return c0*(1-tz) + c1*tz
+}

@@ -1,0 +1,296 @@
+// Package mpj provides an MPI-style message-passing abstraction over
+// goroutines and channels, mirroring the MPJ (MPI for Java) layer the
+// original SciCumulus used for its distribution and execution tiers.
+// It implements the subset SciCumulus relies on: point-to-point
+// Send/Recv with source and tag matching, Barrier, Bcast, Scatter,
+// Gather and Reduce.
+//
+// Semantics follow MPI: Recv blocks until a matching message arrives;
+// messages from the same sender with the same tag are delivered in
+// order; collectives must be entered by every rank.
+package mpj
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Message is a received envelope.
+type Message struct {
+	Source  int
+	Tag     int
+	Payload interface{}
+}
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	size   int
+	boxes  []*mailbox
+	bar    *barrier
+	closed bool
+	mu     sync.Mutex
+}
+
+// mailbox is one rank's incoming queue with condition-variable
+// matching.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// NewComm creates a communicator with the given number of ranks.
+func NewComm(size int) (*Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpj: communicator size %d must be positive", size)
+	}
+	c := &Comm{size: size, bar: newBarrier(size)}
+	for i := 0; i < size; i++ {
+		c.boxes = append(c.boxes, newMailbox())
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank returns the handle for one rank; each participating goroutine
+// holds its own.
+func (c *Comm) Rank(r int) (*Rank, error) {
+	if r < 0 || r >= c.size {
+		return nil, fmt.Errorf("mpj: rank %d out of range 0..%d", r, c.size-1)
+	}
+	return &Rank{comm: c, rank: r}, nil
+}
+
+// Close shuts the communicator down: blocked Recvs return an error.
+func (c *Comm) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	for _, b := range c.boxes {
+		b.mu.Lock()
+		b.closed = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// Rank is one process's endpoint.
+type Rank struct {
+	comm *Comm
+	rank int
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.rank }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Send delivers a message to rank `to`. Sends are buffered
+// (non-blocking), matching MPJ's eager protocol for small messages.
+func (r *Rank) Send(to, tag int, payload interface{}) error {
+	if to < 0 || to >= r.comm.size {
+		return fmt.Errorf("mpj: send to rank %d out of range", to)
+	}
+	box := r.comm.boxes[to]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.closed {
+		return fmt.Errorf("mpj: send to rank %d on closed communicator", to)
+	}
+	box.queue = append(box.queue, Message{Source: r.rank, Tag: tag, Payload: payload})
+	box.cond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a message matching (source, tag) arrives;
+// AnySource/AnyTag act as wildcards. Matching is FIFO among eligible
+// messages, preserving per-sender-per-tag order.
+func (r *Rank) Recv(source, tag int) (Message, error) {
+	box := r.comm.boxes[r.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, m := range box.queue {
+			if (source == AnySource || m.Source == source) &&
+				(tag == AnyTag || m.Tag == tag) {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if box.closed {
+			return Message{}, fmt.Errorf("mpj: rank %d recv on closed communicator", r.rank)
+		}
+		box.cond.Wait()
+	}
+}
+
+// Probe reports whether a matching message is waiting, without
+// consuming it.
+func (r *Rank) Probe(source, tag int) bool {
+	box := r.comm.boxes[r.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, m := range box.queue {
+		if (source == AnySource || m.Source == source) &&
+			(tag == AnyTag || m.Tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- collectives -----------------------------------------------------
+
+// reserved internal tags for collectives, outside the user range.
+const (
+	tagBcast = -1000 - iota
+	tagScatter
+	tagGather
+	tagReduce
+)
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.comm.bar.await() }
+
+// Bcast distributes root's payload to every rank and returns it.
+// Every rank must call Bcast with the same root; non-root callers'
+// payload argument is ignored.
+func (r *Rank) Bcast(root int, payload interface{}) (interface{}, error) {
+	if root < 0 || root >= r.comm.size {
+		return nil, fmt.Errorf("mpj: bcast root %d out of range", root)
+	}
+	if r.rank == root {
+		for i := 0; i < r.comm.size; i++ {
+			if i == root {
+				continue
+			}
+			if err := r.Send(i, tagBcast, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	m, err := r.Recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Scatter splits root's slice across ranks (block distribution) and
+// returns this rank's share. The slice length must equal the
+// communicator size at root.
+func (r *Rank) Scatter(root int, all []interface{}) (interface{}, error) {
+	if r.rank == root {
+		if len(all) != r.comm.size {
+			return nil, fmt.Errorf("mpj: scatter of %d items across %d ranks", len(all), r.comm.size)
+		}
+		for i, item := range all {
+			if i == root {
+				continue
+			}
+			if err := r.Send(i, tagScatter, item); err != nil {
+				return nil, err
+			}
+		}
+		return all[root], nil
+	}
+	m, err := r.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Gather collects one payload from every rank at root, ordered by
+// rank. Non-root callers receive nil.
+func (r *Rank) Gather(root int, payload interface{}) ([]interface{}, error) {
+	if r.rank != root {
+		return nil, r.Send(root, tagGather, payload)
+	}
+	out := make([]interface{}, r.comm.size)
+	out[root] = payload
+	for i := 0; i < r.comm.size; i++ {
+		if i == root {
+			continue
+		}
+		m, err := r.Recv(i, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.Payload
+	}
+	return out, nil
+}
+
+// Reduce folds every rank's float64 contribution at root with fn
+// (rank order). Non-root callers receive 0.
+func (r *Rank) Reduce(root int, value float64, fn func(a, b float64) float64) (float64, error) {
+	if r.rank != root {
+		return 0, r.Send(root, tagReduce, value)
+	}
+	acc := value
+	for i := 0; i < r.comm.size; i++ {
+		if i == root {
+			continue
+		}
+		m, err := r.Recv(i, tagReduce)
+		if err != nil {
+			return 0, err
+		}
+		v, ok := m.Payload.(float64)
+		if !ok {
+			return 0, fmt.Errorf("mpj: reduce received %T from rank %d", m.Payload, i)
+		}
+		acc = fn(acc, v)
+	}
+	return acc, nil
+}
+
+// --- barrier ----------------------------------------------------------
+
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,339 @@
+package mpj
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustComm(t *testing.T, size int) *Comm {
+	t.Helper()
+	c, err := NewComm(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustRank(t *testing.T, c *Comm, r int) *Rank {
+	t.Helper()
+	rk, err := c.Rank(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rk
+}
+
+func TestCommValidation(t *testing.T) {
+	if _, err := NewComm(0); err == nil {
+		t.Error("zero-size communicator accepted")
+	}
+	c := mustComm(t, 2)
+	if _, err := c.Rank(2); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if c.Size() != 2 {
+		t.Errorf("size = %d", c.Size())
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	c := mustComm(t, 2)
+	r0 := mustRank(t, c, 0)
+	r1 := mustRank(t, c, 1)
+	done := make(chan Message, 1)
+	go func() {
+		m, err := r1.Recv(0, 7)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- m
+	}()
+	if err := r0.Send(1, 7, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	m := <-done
+	if m.Payload.(string) != "hello" || m.Source != 0 || m.Tag != 7 {
+		t.Errorf("message = %+v", m)
+	}
+}
+
+func TestRecvTagAndSourceMatching(t *testing.T) {
+	c := mustComm(t, 3)
+	r0 := mustRank(t, c, 0)
+	r1 := mustRank(t, c, 1)
+	r2 := mustRank(t, c, 2)
+	// Two senders, two tags; receiver picks selectively.
+	r1.Send(0, 1, "r1-t1")
+	r2.Send(0, 2, "r2-t2")
+	r1.Send(0, 2, "r1-t2")
+
+	m, err := r0.Recv(2, AnyTag)
+	if err != nil || m.Payload.(string) != "r2-t2" {
+		t.Errorf("selective source recv = %+v, %v", m, err)
+	}
+	m, err = r0.Recv(AnySource, 2)
+	if err != nil || m.Payload.(string) != "r1-t2" {
+		t.Errorf("selective tag recv = %+v, %v", m, err)
+	}
+	m, err = r0.Recv(AnySource, AnyTag)
+	if err != nil || m.Payload.(string) != "r1-t1" {
+		t.Errorf("wildcard recv = %+v, %v", m, err)
+	}
+}
+
+func TestPerSenderOrderPreserved(t *testing.T) {
+	c := mustComm(t, 2)
+	r0 := mustRank(t, c, 0)
+	r1 := mustRank(t, c, 1)
+	for i := 0; i < 100; i++ {
+		r0.Send(1, 5, i)
+	}
+	for i := 0; i < 100; i++ {
+		m, err := r1.Recv(0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Payload.(int) != i {
+			t.Fatalf("message %d arrived out of order: %v", i, m.Payload)
+		}
+	}
+}
+
+func TestProbe(t *testing.T) {
+	c := mustComm(t, 2)
+	r0 := mustRank(t, c, 0)
+	r1 := mustRank(t, c, 1)
+	if r1.Probe(AnySource, AnyTag) {
+		t.Error("probe on empty mailbox")
+	}
+	r0.Send(1, 3, "x")
+	if !r1.Probe(0, 3) {
+		t.Error("probe missed message")
+	}
+	if r1.Probe(0, 4) {
+		t.Error("probe matched wrong tag")
+	}
+	// Probe does not consume.
+	if _, err := r1.Recv(0, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	c := mustComm(t, 2)
+	r1 := mustRank(t, c, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r1.Recv(0, 1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("recv on closed comm returned nil error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recv did not unblock on close")
+	}
+	r0 := mustRank(t, c, 0)
+	if err := r0.Send(1, 1, "x"); err == nil {
+		t.Error("send on closed comm accepted")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	c := mustComm(t, n)
+	var phase [n]int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := mustRank(t, c, rank)
+			for p := 0; p < 5; p++ {
+				phase[rank] = p
+				r.Barrier()
+				// After the barrier everyone must be at phase >= p.
+				for j := 0; j < n; j++ {
+					if phase[j] < p {
+						t.Errorf("rank %d saw rank %d at phase %d < %d", rank, j, phase[j], p)
+					}
+				}
+				r.Barrier()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBcast(t *testing.T) {
+	const n = 5
+	c := mustComm(t, n)
+	var got [n]interface{}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := mustRank(t, c, rank)
+			payload := interface{}(nil)
+			if rank == 2 {
+				payload = "the-plan"
+			}
+			v, err := r.Bcast(2, payload)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[rank] = v
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != "the-plan" {
+			t.Errorf("rank %d got %v", i, v)
+		}
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	const n = 4
+	c := mustComm(t, n)
+	var wg sync.WaitGroup
+	results := make([]interface{}, 1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := mustRank(t, c, rank)
+			var chunk interface{}
+			var err error
+			if rank == 0 {
+				chunk, err = r.Scatter(0, []interface{}{10, 11, 12, 13})
+			} else {
+				chunk, err = r.Scatter(0, nil)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if chunk.(int) != 10+rank {
+				t.Errorf("rank %d chunk = %v", rank, chunk)
+			}
+			// Each rank doubles its chunk and gathers at root.
+			all, err := r.Gather(0, chunk.(int)*2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rank == 0 {
+				results[0] = all
+			}
+		}(i)
+	}
+	wg.Wait()
+	all := results[0].([]interface{})
+	for i, v := range all {
+		if v.(int) != (10+i)*2 {
+			t.Errorf("gathered[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestScatterSizeMismatch(t *testing.T) {
+	c := mustComm(t, 2)
+	r0 := mustRank(t, c, 0)
+	if _, err := r0.Scatter(0, []interface{}{1}); err == nil {
+		t.Error("scatter size mismatch accepted")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	const n = 6
+	c := mustComm(t, n)
+	var wg sync.WaitGroup
+	var total float64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := mustRank(t, c, rank)
+			v, err := r.Reduce(0, float64(rank+1), func(a, b float64) float64 { return a + b })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rank == 0 {
+				total = v
+			}
+		}(i)
+	}
+	wg.Wait()
+	if total != 21 { // 1+2+...+6
+		t.Errorf("reduce total = %v, want 21", total)
+	}
+}
+
+func TestMasterWorkerPattern(t *testing.T) {
+	// The SciCumulus dispatch pattern: rank 0 hands out work items,
+	// workers return results, master collects until done.
+	const workers = 4
+	const jobs = 50
+	c := mustComm(t, workers+1)
+	var wg sync.WaitGroup
+	// Workers.
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := mustRank(t, c, rank)
+			for {
+				m, err := r.Recv(0, AnyTag)
+				if err != nil {
+					return
+				}
+				if m.Tag == 99 { // poison pill
+					return
+				}
+				r.Send(0, 1, m.Payload.(int)*m.Payload.(int))
+			}
+		}(w)
+	}
+	master := mustRank(t, c, 0)
+	next := 0
+	inFlight := 0
+	sum := 0
+	for w := 1; w <= workers && next < jobs; w++ {
+		master.Send(w, 0, next)
+		next++
+		inFlight++
+	}
+	for inFlight > 0 {
+		m, err := master.Recv(AnySource, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += m.Payload.(int)
+		inFlight--
+		if next < jobs {
+			master.Send(m.Source, 0, next)
+			next++
+			inFlight++
+		}
+	}
+	for w := 1; w <= workers; w++ {
+		master.Send(w, 99, nil)
+	}
+	wg.Wait()
+	want := 0
+	for i := 0; i < jobs; i++ {
+		want += i * i
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+}

@@ -1,0 +1,197 @@
+package prep
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chem"
+)
+
+// ErrUnsupportedAtom is wrapped by preparation errors caused by atoms
+// the docking programs cannot parameterize (e.g. Hg). The real
+// AutoDock tools hang in a "looping state" on these inputs (§V.C);
+// the engine maps this error to that behaviour unless the Hg guard
+// routine is enabled.
+var ErrUnsupportedAtom = errors.New("prep: unsupported atom for docking")
+
+// ConvertSDFToMol2 is SciDock activity 1 (Babel): it clones the ligand,
+// perceives bonds when the input carried none, and assigns
+// Gasteiger-like partial charges, yielding the Sybyl Mol2
+// representation consumed by ligand preparation.
+func ConvertSDFToMol2(lig *chem.Molecule) (*chem.Molecule, error) {
+	if err := lig.Validate(); err != nil {
+		return nil, fmt.Errorf("prep: babel: %w", err)
+	}
+	if lig.NumAtoms() == 0 {
+		return nil, fmt.Errorf("prep: babel: ligand %q is empty", lig.Name)
+	}
+	out := lig.Clone()
+	if len(out.Bonds) == 0 {
+		out.PerceiveBonds()
+	}
+	AssignGasteigerCharges(out)
+	return out, nil
+}
+
+// PreparedLigand is the output of activity 2: a PDBQT-ready molecule
+// (non-polar hydrogens merged, AutoDock types assigned) plus its
+// torsion tree.
+type PreparedLigand struct {
+	Mol  *chem.Molecule
+	Tree *chem.TorsionTree
+}
+
+// PrepareLigand is SciDock activity 2 (prepare_ligand4.py): it merges
+// non-polar hydrogens into their heavy neighbours, assigns AutoDock
+// atom types and builds the rotatable-bond tree.
+func PrepareLigand(mol2 *chem.Molecule) (*PreparedLigand, error) {
+	if err := checkSupported(mol2); err != nil {
+		return nil, err
+	}
+	m := mergeNonPolarHydrogens(mol2)
+	assignAutoDockTypes(m)
+	tree, err := chem.BuildTorsionTree(m)
+	if err != nil {
+		return nil, fmt.Errorf("prep: ligand %q: %w", m.Name, err)
+	}
+	return &PreparedLigand{Mol: m, Tree: tree}, nil
+}
+
+// PrepareReceptor is SciDock activity 3 (prepare_receptor4.py): it
+// assigns charges where missing and AutoDock atom types, returning the
+// rigid receptor ready for AutoGrid. Receptors containing unsupported
+// elements return ErrUnsupportedAtom-wrapped errors.
+func PrepareReceptor(pdb *chem.Molecule) (*chem.Molecule, error) {
+	if err := pdb.Validate(); err != nil {
+		return nil, fmt.Errorf("prep: receptor: %w", err)
+	}
+	if pdb.NumAtoms() == 0 {
+		return nil, fmt.Errorf("prep: receptor %q is empty", pdb.Name)
+	}
+	if err := checkSupported(pdb); err != nil {
+		return nil, err
+	}
+	m := pdb.Clone()
+	// Receptor charges come from the residue templates in MGLTools;
+	// our synthetic receptors carry them already. Fill any zeros with
+	// a neutral default.
+	hasCharge := false
+	for _, a := range m.Atoms {
+		if a.Charge != 0 {
+			hasCharge = true
+			break
+		}
+	}
+	if !hasCharge && len(m.Bonds) > 0 {
+		AssignGasteigerCharges(m)
+	}
+	assignAutoDockTypes(m)
+	return m, nil
+}
+
+// checkSupported rejects molecules carrying elements without docking
+// parameters. The error names the first offending atom, mirroring the
+// provenance query the paper used to locate Hg receptors.
+func checkSupported(m *chem.Molecule) error {
+	for i, a := range m.Atoms {
+		if !a.Element.Info().DockSupported {
+			return fmt.Errorf("%w: molecule %q atom %d (%s, element %s)",
+				ErrUnsupportedAtom, m.Name, i, a.Name, a.Element)
+		}
+	}
+	return nil
+}
+
+// mergeNonPolarHydrogens removes hydrogens bonded to carbon, adding
+// their charge to the carbon (AutoDock's united-atom convention).
+// Hydrogens on N/O/S remain as polar HD atoms.
+func mergeNonPolarHydrogens(src *chem.Molecule) *chem.Molecule {
+	adj := src.Adjacency()
+	drop := make([]bool, len(src.Atoms))
+	extraQ := make([]float64, len(src.Atoms))
+	for i, a := range src.Atoms {
+		if a.Element.Normalize() != chem.Hydrogen {
+			continue
+		}
+		for _, j := range adj[i] {
+			if src.Atoms[j].Element.Normalize() == chem.Carbon {
+				drop[i] = true
+				extraQ[j] += a.Charge
+				break
+			}
+		}
+	}
+	remap := make([]int, len(src.Atoms))
+	m := &chem.Molecule{Name: src.Name}
+	for i, a := range src.Atoms {
+		if drop[i] {
+			remap[i] = -1
+			continue
+		}
+		a.Charge = clampCharge(a.Charge + extraQ[i])
+		remap[i] = len(m.Atoms)
+		m.Atoms = append(m.Atoms, a)
+	}
+	for _, b := range src.Bonds {
+		na, nb := remap[b.A], remap[b.B]
+		if na < 0 || nb < 0 {
+			continue
+		}
+		m.Bonds = append(m.Bonds, chem.Bond{A: na, B: nb, Order: b.Order})
+	}
+	return m
+}
+
+// assignAutoDockTypes refines element-default types using bonding
+// context: aromatic carbons → A, H-bearing nitrogens stay N while bare
+// ring/chain nitrogens become acceptors NA, oxygens are always
+// acceptors OA, sulfur becomes SA when not bonded to hydrogen, and
+// hydrogens become HD (all remaining after the non-polar merge are on
+// heteroatoms).
+func assignAutoDockTypes(m *chem.Molecule) {
+	adj := m.Adjacency()
+	aromatic := make([]bool, len(m.Atoms))
+	for _, b := range m.Bonds {
+		if b.Order == chem.Aromatic {
+			aromatic[b.A] = true
+			aromatic[b.B] = true
+		}
+	}
+	hasH := func(i int) bool {
+		for _, j := range adj[i] {
+			if m.Atoms[j].Element.Normalize() == chem.Hydrogen {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range m.Atoms {
+		e := m.Atoms[i].Element.Normalize()
+		switch e {
+		case chem.Hydrogen:
+			m.Atoms[i].Type = chem.TypeHD
+		case chem.Carbon:
+			if aromatic[i] {
+				m.Atoms[i].Type = chem.TypeA
+			} else {
+				m.Atoms[i].Type = chem.TypeC
+			}
+		case chem.Nitrogen:
+			if hasH(i) {
+				m.Atoms[i].Type = chem.TypeN
+			} else {
+				m.Atoms[i].Type = chem.TypeNA
+			}
+		case chem.Oxygen:
+			m.Atoms[i].Type = chem.TypeOA
+		case chem.Sulfur:
+			if hasH(i) {
+				m.Atoms[i].Type = chem.TypeS
+			} else {
+				m.Atoms[i].Type = chem.TypeSA
+			}
+		default:
+			m.Atoms[i].Type = chem.TypeForElement(e)
+		}
+	}
+}

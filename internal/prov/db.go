@@ -1,0 +1,155 @@
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column is one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table is a named relation with a fixed schema.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Value
+
+	colIndex map[string]int
+}
+
+func (t *Table) buildIndex() {
+	t.colIndex = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.colIndex[strings.ToLower(c.Name)] = i
+	}
+}
+
+// ColumnIndex returns the position of a column (case-insensitive), or
+// -1 when absent.
+func (t *Table) ColumnIndex(name string) int {
+	if t.colIndex == nil {
+		t.buildIndex()
+	}
+	if i, ok := t.colIndex[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// DB is the provenance database: a set of tables guarded by a mutex so
+// the engine's concurrent workers can insert activation records while
+// the scientist queries at runtime (the paper's "runtime provenance
+// query" feature).
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new relation. Recreating an existing name is
+// an error (schema migrations are out of scope).
+func (db *DB) CreateTable(name string, cols []Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		return fmt.Errorf("prov: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("prov: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("prov: table %q has duplicate column %q", name, c.Name)
+		}
+		seen[lc] = true
+	}
+	t := &Table{Name: key, Columns: cols}
+	t.buildIndex()
+	db.tables[key] = t
+	return nil
+}
+
+// Insert appends a row after type checking.
+func (db *DB) Insert(table string, row []Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("prov: table %q does not exist", table)
+	}
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("prov: table %q insert of %d values, schema has %d columns",
+			table, len(row), len(t.Columns))
+	}
+	for i, v := range row {
+		if err := checkType(v, t.Columns[i].Type); err != nil {
+			return fmt.Errorf("prov: table %q column %q: %w", table, t.Columns[i].Name, err)
+		}
+	}
+	t.Rows = append(t.Rows, append([]Value(nil), row...))
+	return nil
+}
+
+// Update applies fn to every row matching pred, in place. It returns
+// the number of rows updated. Used by the engine to close activation
+// records (set endtime/status) without reinserting.
+func (db *DB) Update(table string, pred func(row []Value) bool, fn func(row []Value)) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return 0, fmt.Errorf("prov: table %q does not exist", table)
+	}
+	n := 0
+	for _, row := range t.Rows {
+		if pred(row) {
+			fn(row)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// table returns the named table under a read lock already held by the
+// caller.
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("prov: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// NumRows returns the row count of a table (0 for missing tables).
+func (db *DB) NumRows(table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.tables[strings.ToLower(table)]; ok {
+		return len(t.Rows)
+	}
+	return 0
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,721 @@
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Query parses and executes a SQL statement against the database,
+// taking a consistent snapshot so it can run while the workflow is
+// still executing (runtime provenance queries, §IV.B).
+func (db *DB) Query(sql string) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.execute(q)
+}
+
+// boundTable is a snapshot of one FROM entry.
+type boundTable struct {
+	alias string
+	table *Table
+	rows  [][]Value
+}
+
+func (db *DB) snapshot(q *query) ([]boundTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []boundTable
+	for _, tr := range q.From {
+		t, err := db.table(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]Value, len(t.Rows))
+		for i, r := range t.Rows {
+			rows[i] = append([]Value(nil), r...)
+		}
+		out = append(out, boundTable{alias: strings.ToLower(tr.Alias), table: t, rows: rows})
+	}
+	return out, nil
+}
+
+// env binds aliases to current rows during evaluation.
+type env struct {
+	tables []boundTable
+	rows   []int // index into tables[i].rows; -1 = unbound
+}
+
+func (e *env) lookup(ref colRef) (Value, error) {
+	if ref.Table != "" {
+		at := strings.ToLower(ref.Table)
+		for i, bt := range e.tables {
+			if bt.alias == at {
+				if e.rows[i] < 0 {
+					return nil, fmt.Errorf("prov: alias %q not bound", ref.Table)
+				}
+				ci := bt.table.ColumnIndex(ref.Col)
+				if ci < 0 {
+					return nil, fmt.Errorf("prov: column %q not in table %q", ref.Col, bt.table.Name)
+				}
+				return bt.rows[e.rows[i]][ci], nil
+			}
+		}
+		return nil, fmt.Errorf("prov: unknown table alias %q", ref.Table)
+	}
+	found := -1
+	var v Value
+	for i, bt := range e.tables {
+		ci := bt.table.ColumnIndex(ref.Col)
+		if ci < 0 {
+			continue
+		}
+		if found >= 0 {
+			return nil, fmt.Errorf("prov: column %q is ambiguous", ref.Col)
+		}
+		found = i
+		if e.rows[i] < 0 {
+			return nil, fmt.Errorf("prov: column %q referenced before its table is bound", ref.Col)
+		}
+		v = bt.rows[e.rows[i]][ci]
+	}
+	if found < 0 {
+		return nil, fmt.Errorf("prov: unknown column %q", ref.Col)
+	}
+	return v, nil
+}
+
+// aliasesOf returns the set of table aliases an expression references
+// (empty string marks bare columns, resolvable once all tables bind).
+func aliasesOf(e expr, out map[string]bool) {
+	switch x := e.(type) {
+	case colRef:
+		out[strings.ToLower(x.Table)] = true
+	case binExpr:
+		aliasesOf(x.L, out)
+		aliasesOf(x.R, out)
+	case funcCall:
+		for _, a := range x.Args {
+			aliasesOf(a, out)
+		}
+	}
+}
+
+func boolAliases(b boolExpr, m map[string]bool) {
+	switch x := b.(type) {
+	case boolCond:
+		aliasesOf(x.C.L, m)
+		if x.C.R != nil {
+			aliasesOf(x.C.R, m)
+		}
+		for _, e := range x.C.In {
+			aliasesOf(e, m)
+		}
+	case boolAnd:
+		boolAliases(x.L, m)
+		boolAliases(x.R, m)
+	case boolOr:
+		boolAliases(x.L, m)
+		boolAliases(x.R, m)
+	case boolNot:
+		boolAliases(x.E, m)
+	}
+}
+
+// conjuncts flattens top-level ANDs so each conjunct can be pushed
+// independently to the join depth where its aliases bind.
+func conjuncts(b boolExpr) []boolExpr {
+	if b == nil {
+		return nil
+	}
+	if a, ok := b.(boolAnd); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []boolExpr{b}
+}
+
+// execute runs the compiled query.
+func (db *DB) execute(q *query) (*Result, error) {
+	tables, err := db.snapshot(q)
+	if err != nil {
+		return nil, err
+	}
+	e := &env{tables: tables, rows: make([]int, len(tables))}
+	for i := range e.rows {
+		e.rows[i] = -1
+	}
+
+	// Predicate pushdown: a conjunct fires at the first join depth
+	// where all its aliases are bound.
+	condAt := make([][]boolExpr, len(tables))
+	for _, c := range conjuncts(q.Where) {
+		need := map[string]bool{}
+		boolAliases(c, need)
+		depth := len(tables) - 1
+		if !need[""] { // bare columns need everything bound
+			depth = 0
+			for d, bt := range tables {
+				if need[bt.alias] && d > depth {
+					depth = d
+				}
+			}
+		}
+		condAt[depth] = append(condAt[depth], c)
+	}
+
+	var joined []([]int)
+	var joinErr error
+	var recurse func(depth int)
+	recurse = func(depth int) {
+		if joinErr != nil {
+			return
+		}
+		if depth == len(tables) {
+			joined = append(joined, append([]int(nil), e.rows...))
+			return
+		}
+		for ri := range tables[depth].rows {
+			e.rows[depth] = ri
+			ok := true
+			for _, c := range condAt[depth] {
+				pass, err := evalBool(e, c)
+				if err != nil {
+					joinErr = err
+					return
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				recurse(depth + 1)
+			}
+		}
+		e.rows[depth] = -1
+	}
+	recurse(0)
+	if joinErr != nil {
+		return nil, joinErr
+	}
+
+	grouped := len(q.GroupBy) > 0
+	if !grouped {
+		for _, it := range q.Select {
+			if hasAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, it := range q.Select {
+		res.Columns = append(res.Columns, it.Alias)
+	}
+
+	if grouped {
+		groups := map[string][][]int{}
+		var order []string
+		for _, rows := range joined {
+			e.rows = rows
+			var key strings.Builder
+			for _, g := range q.GroupBy {
+				v, err := e.lookup(g)
+				if err != nil {
+					return nil, err
+				}
+				key.WriteString(formatValue(v))
+				key.WriteByte('\x00')
+			}
+			k := key.String()
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], rows)
+		}
+		if len(q.GroupBy) == 0 && len(joined) > 0 {
+			order = []string{""}
+			groups[""] = joined
+		}
+		if len(q.GroupBy) == 0 && len(joined) == 0 {
+			// Aggregates over an empty set still yield one row.
+			order = []string{""}
+			groups[""] = nil
+		}
+		type outRow struct {
+			vals []Value
+			keys []Value
+		}
+		var rows []outRow
+		for _, k := range order {
+			g := groups[k]
+			var vals []Value
+			for _, it := range q.Select {
+				v, err := evalGrouped(e, it.Expr, g)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			var keys []Value
+			for _, ob := range q.OrderBy {
+				v, err := evalGrouped(e, ob.Expr, g)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, v)
+			}
+			rows = append(rows, outRow{vals: vals, keys: keys})
+		}
+		if len(q.OrderBy) > 0 {
+			sort.SliceStable(rows, func(i, j int) bool {
+				return orderLess(q.OrderBy, rows[i].keys, rows[j].keys)
+			})
+		}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, r.vals)
+		}
+	} else {
+		type outRow struct {
+			vals []Value
+			keys []Value
+		}
+		var rows []outRow
+		for _, rset := range joined {
+			e.rows = rset
+			var vals []Value
+			for _, it := range q.Select {
+				v, err := evalExpr(e, it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			var keys []Value
+			for _, ob := range q.OrderBy {
+				v, err := evalExpr(e, ob.Expr)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, v)
+			}
+			rows = append(rows, outRow{vals, keys})
+		}
+		if len(q.OrderBy) > 0 {
+			sort.SliceStable(rows, func(i, j int) bool {
+				return orderLess(q.OrderBy, rows[i].keys, rows[j].keys)
+			})
+		}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, r.vals)
+		}
+	}
+
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+func orderLess(obs []orderItem, a, b []Value) bool {
+	for i, ob := range obs {
+		c := compareValues(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if ob.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+func hasAggregate(e expr) bool {
+	switch x := e.(type) {
+	case funcCall:
+		switch x.Name {
+		case "min", "max", "sum", "avg", "count":
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case binExpr:
+		return hasAggregate(x.L) || hasAggregate(x.R)
+	}
+	return false
+}
+
+func evalBool(e *env, b boolExpr) (bool, error) {
+	switch x := b.(type) {
+	case boolCond:
+		return evalCondition(e, x.C)
+	case boolAnd:
+		l, err := evalBool(e, x.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalBool(e, x.R)
+	case boolOr:
+		l, err := evalBool(e, x.L)
+		if err != nil || l {
+			return l, err
+		}
+		return evalBool(e, x.R)
+	case boolNot:
+		v, err := evalBool(e, x.E)
+		return !v, err
+	default:
+		return false, fmt.Errorf("prov: unsupported boolean expression %T", b)
+	}
+}
+
+func evalCondition(e *env, c condition) (bool, error) {
+	l, err := evalExpr(e, c.L)
+	if err != nil {
+		return false, err
+	}
+	if c.Op == "in" {
+		for _, item := range c.In {
+			v, err := evalExpr(e, item)
+			if err != nil {
+				return false, err
+			}
+			if compareValues(l, v) == 0 {
+				return !c.Neg, nil
+			}
+		}
+		return c.Neg, nil
+	}
+	r, err := evalExpr(e, c.R)
+	if err != nil {
+		return false, err
+	}
+	if c.Op == "like" {
+		ls, ok1 := l.(string)
+		rs, ok2 := r.(string)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("prov: LIKE needs string operands")
+		}
+		m := likeMatch(ls, rs)
+		if c.Neg {
+			m = !m
+		}
+		return m, nil
+	}
+	cmp := compareValues(l, r)
+	switch c.Op {
+	case "=":
+		return cmp == 0, nil
+	case "<>":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case ">":
+		return cmp > 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("prov: unknown operator %q", c.Op)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one).
+func likeMatch(s, pat string) bool {
+	var match func(si, pi int) bool
+	match = func(si, pi int) bool {
+		for pi < len(pat) {
+			switch pat[pi] {
+			case '%':
+				for k := si; k <= len(s); k++ {
+					if match(k, pi+1) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			default:
+				if si >= len(s) || s[si] != pat[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return match(0, 0)
+}
+
+func evalExpr(e *env, ex expr) (Value, error) {
+	switch x := ex.(type) {
+	case litNum:
+		return x.V, nil
+	case litStr:
+		return x.V, nil
+	case colRef:
+		return e.lookup(x)
+	case binExpr:
+		return evalBin(e, x)
+	case funcCall:
+		return evalFunc(e, x)
+	default:
+		return nil, fmt.Errorf("prov: unsupported expression %T", ex)
+	}
+}
+
+func evalBin(e *env, b binExpr) (Value, error) {
+	l, err := evalExpr(e, b.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(e, b.R)
+	if err != nil {
+		return nil, err
+	}
+	// timestamp - timestamp = interval in seconds (float64).
+	if lt, ok := l.(time.Time); ok {
+		if rt, ok := r.(time.Time); ok && b.Op == "-" {
+			return lt.Sub(rt).Seconds(), nil
+		}
+	}
+	lf, ok1 := numeric(l)
+	rf, ok2 := numeric(r)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("prov: arithmetic on non-numeric values %v %s %v", l, b.Op, r)
+	}
+	switch b.Op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("prov: division by zero")
+		}
+		return lf / rf, nil
+	default:
+		return nil, fmt.Errorf("prov: unknown arithmetic operator %q", b.Op)
+	}
+}
+
+func evalFunc(e *env, f funcCall) (Value, error) {
+	switch f.Name {
+	case "extract":
+		if len(f.Args) != 2 {
+			return nil, fmt.Errorf("prov: extract needs field and expression")
+		}
+		field, _ := f.Args[0].(litStr)
+		if field.V != "epoch" {
+			return nil, fmt.Errorf("prov: extract supports 'epoch' only, got %q", field.V)
+		}
+		v, err := evalExpr(e, f.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch x := v.(type) {
+		case float64: // interval already in seconds
+			return x, nil
+		case int64:
+			return float64(x), nil
+		case time.Time:
+			return float64(x.UnixNano()) / 1e9, nil
+		default:
+			return nil, fmt.Errorf("prov: extract(epoch) from %T unsupported", v)
+		}
+	case "min", "max", "sum", "avg", "count":
+		return nil, fmt.Errorf("prov: aggregate %s used outside grouped context", f.Name)
+	default:
+		return nil, fmt.Errorf("prov: unknown function %q", f.Name)
+	}
+}
+
+// evalGrouped evaluates an expression over a group of joined rows:
+// aggregates fold the group, other expressions evaluate on the first
+// row (SQL requires them to be functionally dependent on the group
+// key; we follow PostgreSQL 8.4's permissiveness).
+func evalGrouped(e *env, ex expr, group [][]int) (Value, error) {
+	switch x := ex.(type) {
+	case funcCall:
+		switch x.Name {
+		case "min", "max", "sum", "avg", "count":
+			return foldAggregate(e, x, group)
+		}
+	case binExpr:
+		if hasAggregate(x) {
+			l, err := evalGrouped(e, x.L, group)
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalGrouped(e, x.R, group)
+			if err != nil {
+				return nil, err
+			}
+			return evalBin(&env{}, binExpr{Op: x.Op, L: litVal(l), R: litVal(r)})
+		}
+	}
+	if len(group) == 0 {
+		return nil, nil
+	}
+	e.rows = group[0]
+	return evalExpr(e, ex)
+}
+
+// litVal wraps an already-evaluated value back into an expression so
+// evalBin can combine aggregate results.
+func litVal(v Value) expr {
+	switch x := v.(type) {
+	case float64:
+		return litNum{x}
+	case int64:
+		return litNum{float64(x)}
+	case string:
+		return litStr{x}
+	default:
+		return litNum{0}
+	}
+}
+
+func foldAggregate(e *env, f funcCall, group [][]int) (Value, error) {
+	if f.Name == "count" && f.Star {
+		return int64(len(group)), nil
+	}
+	if len(f.Args) != 1 {
+		return nil, fmt.Errorf("prov: %s needs exactly one argument", f.Name)
+	}
+	if f.Name == "count" && f.Distinct {
+		seen := map[string]bool{}
+		for _, rows := range group {
+			e.rows = rows
+			v, err := evalExpr(e, f.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if v != nil {
+				seen[formatValue(v)] = true
+			}
+		}
+		return int64(len(seen)), nil
+	}
+	var (
+		acc   float64
+		n     int
+		first = true
+		best  Value
+	)
+	for _, rows := range group {
+		e.rows = rows
+		v, err := evalExpr(e, f.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		n++
+		switch f.Name {
+		case "count":
+			continue
+		case "min":
+			if first || compareValues(v, best) < 0 {
+				best = v
+			}
+		case "max":
+			if first || compareValues(v, best) > 0 {
+				best = v
+			}
+		case "sum", "avg":
+			fv, ok := numeric(v)
+			if !ok {
+				return nil, fmt.Errorf("prov: %s over non-numeric value %v", f.Name, v)
+			}
+			acc += fv
+		}
+		first = false
+	}
+	switch f.Name {
+	case "count":
+		return int64(n), nil
+	case "min", "max":
+		return best, nil
+	case "sum":
+		if n == 0 {
+			return nil, nil
+		}
+		return acc, nil
+	case "avg":
+		if n == 0 {
+			return nil, nil
+		}
+		return acc / float64(n), nil
+	}
+	return nil, fmt.Errorf("prov: unreachable aggregate %q", f.Name)
+}
+
+// Format renders the result like psql's aligned output (the style of
+// Figures 10 and 11 in the paper).
+func (r *Result) Format() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatValue(v)
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], s)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
+	return sb.String()
+}

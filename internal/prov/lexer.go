@@ -1,0 +1,102 @@
+package prov
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * + - / = < > <= >= <> !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes a SQL string. Identifiers keep their case for display
+// but compare case-insensitively; strings use single quotes.
+func lex(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && sql[j] != '\'' {
+				sb.WriteByte(sql[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("prov: unterminated string at position %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, sql[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(sql[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, sql[i:j], i})
+			i = j
+		case c == '<':
+			if i+1 < n && (sql[i+1] == '=' || sql[i+1] == '>') {
+				toks = append(toks, token{tokSymbol, sql[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && sql[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && sql[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("prov: unexpected '!' at position %d", i)
+			}
+		case strings.IndexByte("(),.*+-/=;", c) >= 0:
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("prov: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

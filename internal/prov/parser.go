@@ -1,0 +1,559 @@
+package prov
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expression AST.
+type expr interface{ exprNode() }
+
+type colRef struct {
+	Table string // alias or table name; empty for bare columns
+	Col   string
+}
+
+type litNum struct{ V float64 }
+type litStr struct{ V string }
+
+type binExpr struct {
+	Op   string // + - * /
+	L, R expr
+}
+
+type funcCall struct {
+	Name     string // lower-case: min max sum avg count extract
+	Args     []expr
+	Star     bool // count(*)
+	Distinct bool // count(DISTINCT col)
+}
+
+func (colRef) exprNode()   {}
+func (litNum) exprNode()   {}
+func (litStr) exprNode()   {}
+func (binExpr) exprNode()  {}
+func (funcCall) exprNode() {}
+
+// condition is a comparison between two expressions.
+type condition struct {
+	Op   string // = <> < > <= >= like in
+	L, R expr
+	// In holds the value list for the IN operator.
+	In  []expr
+	Neg bool // NOT IN / NOT LIKE
+}
+
+// boolExpr is a WHERE-clause boolean tree.
+type boolExpr interface{ boolNode() }
+
+type boolCond struct{ C condition }
+type boolAnd struct{ L, R boolExpr }
+type boolOr struct{ L, R boolExpr }
+type boolNot struct{ E boolExpr }
+
+func (boolCond) boolNode() {}
+func (boolAnd) boolNode()  {}
+func (boolOr) boolNode()   {}
+func (boolNot) boolNode()  {}
+
+type selectItem struct {
+	Expr  expr
+	Alias string
+}
+
+type tableRef struct {
+	Name  string
+	Alias string
+}
+
+type orderItem struct {
+	Expr expr
+	Desc bool
+}
+
+// query is a parsed SELECT statement.
+type query struct {
+	Select  []selectItem
+	From    []tableRef
+	Where   boolExpr // nil when absent
+	GroupBy []colRef
+	OrderBy []orderItem
+	Limit   int // -1 = none
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles a SQL string into a query plan description.
+func Parse(sql string) (*query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("prov: trailing input at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF || p.cur().text == ";" }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("prov: expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("prov: expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &query{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, tr)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		w, err := p.parseBoolOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := e.(colRef)
+			if !ok {
+				return nil, fmt.Errorf("prov: GROUP BY supports column references only")
+			}
+			q.GroupBy = append(q.GroupBy, cr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := orderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				it.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, it)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, fmt.Errorf("prov: LIMIT needs a number, found %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil {
+			return nil, fmt.Errorf("prov: bad LIMIT: %w", err)
+		}
+		q.Limit = n
+		p.pos++
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{Expr: e, Alias: defaultAlias(e)}
+	if p.acceptKeyword("as") {
+		if p.cur().kind != tokIdent {
+			return selectItem{}, fmt.Errorf("prov: expected alias after AS, found %q", p.cur().text)
+		}
+		item.Alias = p.cur().text
+		p.pos++
+	} else if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func isReserved(s string) bool {
+	switch strings.ToLower(s) {
+	case "from", "where", "group", "order", "by", "and", "or", "not", "in",
+		"limit", "as", "asc", "desc", "like":
+		return true
+	}
+	return false
+}
+
+func defaultAlias(e expr) string {
+	switch x := e.(type) {
+	case colRef:
+		return x.Col
+	case funcCall:
+		return x.Name
+	default:
+		return "?column?"
+	}
+}
+
+func (p *parser) parseTableRef() (tableRef, error) {
+	if p.cur().kind != tokIdent {
+		return tableRef{}, fmt.Errorf("prov: expected table name, found %q", p.cur().text)
+	}
+	tr := tableRef{Name: p.cur().text}
+	p.pos++
+	if p.cur().kind == tokIdent && !isReserved(p.cur().text) {
+		tr.Alias = p.cur().text
+		p.pos++
+	} else {
+		tr.Alias = tr.Name
+	}
+	return tr, nil
+}
+
+// parseBoolOr parses OR-connected boolean terms (lowest precedence).
+func (p *parser) parseBoolOr() (boolExpr, error) {
+	l, err := p.parseBoolAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseBoolAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = boolOr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseBoolAnd() (boolExpr, error) {
+	l, err := p.parseBoolNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseBoolNot()
+		if err != nil {
+			return nil, err
+		}
+		l = boolAnd{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseBoolNot() (boolExpr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseBoolNot()
+		if err != nil {
+			return nil, err
+		}
+		return boolNot{E: e}, nil
+	}
+	return p.parseBoolPrimary()
+}
+
+// parseBoolPrimary parses a predicate or a parenthesized boolean
+// group. A leading '(' is ambiguous (it may open an arithmetic
+// expression, e.g. "(a+1) > 2"); the predicate parse is attempted
+// first and the group parse used on backtrack.
+func (p *parser) parseBoolPrimary() (boolExpr, error) {
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		save := p.pos
+		if c, err := p.parseCondition(); err == nil {
+			return boolCond{C: c}, nil
+		}
+		p.pos = save
+		p.pos++ // consume '('
+		inner, err := p.parseBoolOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	c, err := p.parseCondition()
+	if err != nil {
+		return nil, err
+	}
+	return boolCond{C: c}, nil
+}
+
+func (p *parser) parseCondition() (condition, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return condition{}, err
+	}
+	neg := false
+	if p.acceptKeyword("not") {
+		neg = true // NOT IN / NOT LIKE
+	}
+	var op string
+	switch {
+	case !neg && p.acceptSymbol("="):
+		op = "="
+	case !neg && (p.acceptSymbol("<>") || p.acceptSymbol("!=")):
+		op = "<>"
+	case !neg && p.acceptSymbol("<="):
+		op = "<="
+	case !neg && p.acceptSymbol(">="):
+		op = ">="
+	case !neg && p.acceptSymbol("<"):
+		op = "<"
+	case !neg && p.acceptSymbol(">"):
+		op = ">"
+	case p.acceptKeyword("like"):
+		op = "like"
+	case p.acceptKeyword("in"):
+		op = "in"
+	default:
+		return condition{}, fmt.Errorf("prov: expected comparison operator, found %q", p.cur().text)
+	}
+	if op == "in" {
+		if err := p.expectSymbol("("); err != nil {
+			return condition{}, err
+		}
+		var list []expr
+		for {
+			item, err := p.parseExpr()
+			if err != nil {
+				return condition{}, err
+			}
+			list = append(list, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return condition{}, err
+		}
+		return condition{Op: "in", L: l, In: list, Neg: neg}, nil
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return condition{}, err
+	}
+	return condition{Op: op, L: l, R: r, Neg: neg}, nil
+}
+
+// parseExpr handles + and - at the lowest precedence.
+func (p *parser) parseExpr() (expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		if p.acceptSymbol("+") {
+			op = "+"
+		} else if p.acceptSymbol("-") {
+			op = "-"
+		} else {
+			return l, nil
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		if p.acceptSymbol("*") {
+			op = "*"
+		} else if p.acceptSymbol("/") {
+			op = "/"
+		} else {
+			return l, nil
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseFactor() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prov: bad number %q: %w", t.text, err)
+		}
+		return litNum{v}, nil
+	case t.kind == tokString:
+		p.pos++
+		return litStr{t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.pos++
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{Op: "*", L: litNum{-1}, R: e}, nil
+	case t.kind == tokIdent:
+		return p.parseIdentExpr()
+	default:
+		return nil, fmt.Errorf("prov: unexpected token %q in expression", t.text)
+	}
+}
+
+// parseIdentExpr handles column refs, function calls, and EXTRACT.
+func (p *parser) parseIdentExpr() (expr, error) {
+	name := p.cur().text
+	p.pos++
+	lower := strings.ToLower(name)
+
+	// EXTRACT('epoch' FROM expr) — also accepts extract(epoch from e).
+	if lower == "extract" && p.acceptSymbol("(") {
+		var field string
+		if p.cur().kind == tokString || p.cur().kind == tokIdent {
+			field = strings.ToLower(p.cur().text)
+			p.pos++
+		} else {
+			return nil, fmt.Errorf("prov: EXTRACT needs a field, found %q", p.cur().text)
+		}
+		if err := p.expectKeyword("from"); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return funcCall{Name: "extract", Args: []expr{litStr{field}, arg}}, nil
+	}
+
+	if p.acceptSymbol("(") {
+		fc := funcCall{Name: lower}
+		if p.acceptSymbol("*") {
+			fc.Star = true
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.acceptKeyword("distinct") {
+			fc.Distinct = true
+		}
+		if !p.acceptSymbol(")") {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, arg)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		return fc, nil
+	}
+
+	if p.acceptSymbol(".") {
+		if p.cur().kind != tokIdent && !(p.cur().kind == tokSymbol && p.cur().text == "*") {
+			return nil, fmt.Errorf("prov: expected column after %q., found %q", name, p.cur().text)
+		}
+		col := p.cur().text
+		p.pos++
+		return colRef{Table: name, Col: col}, nil
+	}
+	return colRef{Col: name}, nil
+}

@@ -1,0 +1,94 @@
+package prov
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The paper's provenance database persists beyond workflow execution,
+// "allow[ing] for long-term analyses over experimental data". Save
+// and LoadDB serialize the embedded store so campaigns can be
+// archived and re-queried later (cmd/provq's -save/-load flags).
+
+func init() {
+	// Cell values travel through an interface; register the concrete
+	// types gob will see.
+	gob.Register(time.Time{})
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+}
+
+// dbSnapshot is the serialized form.
+type dbSnapshot struct {
+	Version int
+	Tables  []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Value
+}
+
+const snapshotVersion = 1
+
+// Save writes the entire database to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := dbSnapshot{Version: snapshotVersion}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		ts := tableSnapshot{Name: t.Name, Columns: t.Columns}
+		for _, row := range t.Rows {
+			ts.Rows = append(ts.Rows, append([]Value(nil), row...))
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("prov: save: %w", err)
+	}
+	return nil
+}
+
+// tableNamesLocked returns sorted table names; caller holds a lock.
+func (db *DB) tableNamesLocked() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	// Small set; insertion sort keeps this dependency-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// LoadDB reads a database written by Save, validating every row
+// against its declared schema.
+func LoadDB(r io.Reader) (*DB, error) {
+	var snap dbSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("prov: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("prov: load: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	db := NewDB()
+	for _, ts := range snap.Tables {
+		if err := db.CreateTable(ts.Name, ts.Columns); err != nil {
+			return nil, err
+		}
+		for i, row := range ts.Rows {
+			if err := db.Insert(ts.Name, row); err != nil {
+				return nil, fmt.Errorf("prov: load: table %q row %d: %w", ts.Name, i, err)
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cloud"
+)
+
+// CostAwarePolicy sizes the fleet by money rather than speed,
+// formalizing the paper's closing observation that "acquiring more
+// than 32 VMs may not bring the expected benefit, particularly if
+// financial costs are involved": among core counts that meet the
+// deadline, pick the cheapest; if none can, pick the fastest.
+type CostAwarePolicy struct {
+	// DeadlineSeconds is the acceptable TET for the planned work.
+	DeadlineSeconds float64
+	// MaxCores bounds the search (the paper's experiments stop at 128).
+	MaxCores int
+	// MasterDelayPerVM mirrors the scheduler's planning overhead so
+	// the estimate sees the same efficiency cliff the execution will.
+	MasterDelayPerVM float64
+}
+
+// NewCostAwarePolicy returns a policy matching the calibrated
+// scheduler's overhead model.
+func NewCostAwarePolicy(deadlineSeconds float64) *CostAwarePolicy {
+	return &CostAwarePolicy{
+		DeadlineSeconds:  deadlineSeconds,
+		MaxCores:         128,
+		MasterDelayPerVM: NewGreedy().MasterDelayPerVM,
+	}
+}
+
+// Plan is one evaluated fleet option.
+type Plan struct {
+	Cores         int
+	EstimatedTET  float64
+	EstimatedUSD  float64
+	MeetsDeadline bool
+}
+
+// EstimateTET predicts the makespan of `totalWork` reference-core
+// seconds spread over `activations` dispatch decisions on a fleet of
+// the given size: the max of the compute bound and the master's
+// serial dispatch bound, per the calibrated overhead model.
+func (p *CostAwarePolicy) EstimateTET(totalWork float64, activations, cores int) float64 {
+	if cores < 1 {
+		return math.Inf(1)
+	}
+	nVMs := int(math.Ceil(float64(cores) / float64(cloud.M32XLarge.Cores)))
+	dispatch := float64(activations) * p.MasterDelayPerVM * float64(nVMs)
+	compute := totalWork / float64(cores)
+	if dispatch > compute {
+		return dispatch
+	}
+	return compute
+}
+
+// estimateUSD prices a fleet of `cores` running for `tet` seconds,
+// with EC2's whole-hour rounding.
+func estimateUSD(cores int, tet float64) float64 {
+	hours := math.Ceil(tet / 3600)
+	var usd float64
+	remaining := cores
+	for remaining >= cloud.M32XLarge.Cores {
+		usd += hours * cloud.M32XLarge.HourlyUSD
+		remaining -= cloud.M32XLarge.Cores
+	}
+	if remaining > 0 {
+		usd += hours * cloud.M3XLarge.HourlyUSD
+	}
+	return usd
+}
+
+// Evaluate returns the plan table for doubling core counts up to
+// MaxCores, in ascending core order.
+func (p *CostAwarePolicy) Evaluate(totalWork float64, activations int) []Plan {
+	var out []Plan
+	max := p.MaxCores
+	if max < 2 {
+		max = 128
+	}
+	for cores := 2; cores <= max; cores *= 2 {
+		tet := p.EstimateTET(totalWork, activations, cores)
+		out = append(out, Plan{
+			Cores:         cores,
+			EstimatedTET:  tet,
+			EstimatedUSD:  estimateUSD(cores, tet),
+			MeetsDeadline: tet <= p.DeadlineSeconds,
+		})
+	}
+	return out
+}
+
+// Choose picks the cheapest plan that meets the deadline, or the
+// fastest plan when none does.
+func (p *CostAwarePolicy) Choose(totalWork float64, activations int) (Plan, error) {
+	if totalWork <= 0 {
+		return Plan{}, fmt.Errorf("sched: cost-aware planning needs positive work, got %v", totalWork)
+	}
+	plans := p.Evaluate(totalWork, activations)
+	var best *Plan
+	for i := range plans {
+		pl := &plans[i]
+		if !pl.MeetsDeadline {
+			continue
+		}
+		if best == nil || pl.EstimatedUSD < best.EstimatedUSD ||
+			(pl.EstimatedUSD == best.EstimatedUSD && pl.EstimatedTET < best.EstimatedTET) {
+			best = pl
+		}
+	}
+	if best != nil {
+		return *best, nil
+	}
+	// No plan meets the deadline: fastest available.
+	fastest := plans[0]
+	for _, pl := range plans[1:] {
+		if pl.EstimatedTET < fastest.EstimatedTET {
+			fastest = pl
+		}
+	}
+	return fastest, nil
+}

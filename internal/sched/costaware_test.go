@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper-scale AD4 workload: ~2.2M reference-core seconds over 80k
+// activations.
+const (
+	paperWork = 2.2e6
+	paperActs = 80000
+)
+
+func TestEstimateTETBounds(t *testing.T) {
+	p := NewCostAwarePolicy(86400)
+	// Small fleet: compute-bound.
+	small := p.EstimateTET(paperWork, paperActs, 2)
+	if math.Abs(small-paperWork/2) > 1 {
+		t.Errorf("2-core estimate = %v, want compute-bound %v", small, paperWork/2)
+	}
+	// Huge fleet: dispatch-bound, so more cores stop helping.
+	big := p.EstimateTET(paperWork, paperActs, 128)
+	bigger := p.EstimateTET(paperWork, paperActs, 256)
+	if bigger < big {
+		t.Errorf("dispatch bound should flatten scaling: %v then %v", big, bigger)
+	}
+	if p.EstimateTET(paperWork, paperActs, 0) != math.Inf(1) {
+		t.Error("zero cores should be infinite")
+	}
+}
+
+func TestChooseCheapestMeetingDeadline(t *testing.T) {
+	// With whole-VM billing, 4 cores (one m3.xlarge fully used) beat
+	// 2 cores (the same VM half-idle): same hourly rate, half the
+	// hours. The policy must exploit that.
+	p := NewCostAwarePolicy(20 * 86400)
+	plan, err := p.Choose(paperWork, paperActs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.MeetsDeadline {
+		t.Error("chosen plan misses a 20-day deadline")
+	}
+	two := p.EstimateTET(paperWork, paperActs, 2)
+	if estimateUSD(2, two) <= plan.EstimatedUSD {
+		t.Errorf("half-idle 2-core fleet ($%v) should not beat chosen $%v",
+			estimateUSD(2, two), plan.EstimatedUSD)
+	}
+
+	// One-day deadline: the chosen plan is feasible, no feasible plan
+	// is strictly cheaper, and equal-cost feasible plans are no
+	// faster.
+	day := NewCostAwarePolicy(86400)
+	plan, err = day.Choose(paperWork, paperActs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.MeetsDeadline {
+		t.Fatalf("one-day deadline unmet by chosen plan %+v", plan)
+	}
+	for _, pl := range day.Evaluate(paperWork, paperActs) {
+		if !pl.MeetsDeadline {
+			continue
+		}
+		if pl.EstimatedUSD < plan.EstimatedUSD {
+			t.Errorf("cheaper feasible plan %+v ignored", pl)
+		}
+		if pl.EstimatedUSD == plan.EstimatedUSD && pl.EstimatedTET < plan.EstimatedTET {
+			t.Errorf("equal-cost faster plan %+v ignored", pl)
+		}
+	}
+}
+
+func TestChooseImpossibleDeadlinePicksFastest(t *testing.T) {
+	p := NewCostAwarePolicy(1) // one second: impossible
+	plan, err := p.Choose(paperWork, paperActs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MeetsDeadline {
+		t.Error("impossible deadline reported as met")
+	}
+	for _, pl := range p.Evaluate(paperWork, paperActs) {
+		if pl.EstimatedTET < plan.EstimatedTET {
+			t.Errorf("faster plan %+v ignored", pl)
+		}
+	}
+}
+
+func TestChooseValidation(t *testing.T) {
+	p := NewCostAwarePolicy(3600)
+	if _, err := p.Choose(0, 10); err == nil {
+		t.Error("zero work accepted")
+	}
+}
+
+// The paper's economic observation: beyond ~32 cores the marginal
+// dollars buy little time on this workload.
+func TestDiminishingReturnsBeyond32Cores(t *testing.T) {
+	p := NewCostAwarePolicy(0)
+	plans := p.Evaluate(paperWork, paperActs)
+	byCores := map[int]Plan{}
+	for _, pl := range plans {
+		byCores[pl.Cores] = pl
+	}
+	gain32 := byCores[16].EstimatedTET - byCores[32].EstimatedTET
+	gain128 := byCores[64].EstimatedTET - byCores[128].EstimatedTET
+	if gain128 >= gain32 {
+		t.Errorf("no diminishing returns: 16→32 gains %v, 64→128 gains %v", gain32, gain128)
+	}
+	if byCores[128].EstimatedUSD <= byCores[32].EstimatedUSD {
+		t.Errorf("128-core fleet not pricier: $%v vs $%v",
+			byCores[128].EstimatedUSD, byCores[32].EstimatedUSD)
+	}
+}

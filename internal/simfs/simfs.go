@@ -1,0 +1,176 @@
+// Package simfs simulates the shared FUSE/S3 file system (s3fs) the
+// paper's deployment used for workflow inputs and outputs. It is an
+// in-memory hierarchical store with S3-like per-operation latency
+// accounting, letting the cost model charge realistic I/O time for
+// the ~600 GB of files a full SciDock execution produces.
+package simfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Latency parameters of the simulated object store (seconds).
+const (
+	opLatency        = 0.012 // per-request round trip
+	writeBytesPerSec = 55e6  // sustained PUT bandwidth
+	readBytesPerSec  = 80e6  // sustained GET bandwidth
+)
+
+// FS is a shared in-memory file system. All methods are safe for
+// concurrent use by the engine's workers.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+
+	ops        int64
+	bytesRead  int64
+	bytesWrite int64
+}
+
+// New returns an empty file system.
+func New() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// clean canonicalizes a path: forward slashes, no trailing slash, must
+// be absolute.
+func clean(path string) (string, error) {
+	if path == "" || path[0] != '/' {
+		return "", fmt.Errorf("simfs: path %q must be absolute", path)
+	}
+	parts := strings.Split(path, "/")
+	var out []string
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(out) == 0 {
+				return "", fmt.Errorf("simfs: path %q escapes root", path)
+			}
+			out = out[:len(out)-1]
+		default:
+			out = append(out, p)
+		}
+	}
+	return "/" + strings.Join(out, "/"), nil
+}
+
+// Write stores data at path (creating parents implicitly, as object
+// stores do) and returns the simulated I/O time in seconds.
+func (fs *FS) Write(path string, data []byte) (float64, error) {
+	p, err := clean(path)
+	if err != nil {
+		return 0, err
+	}
+	fs.mu.Lock()
+	fs.files[p] = append([]byte(nil), data...)
+	fs.ops++
+	fs.bytesWrite += int64(len(data))
+	fs.mu.Unlock()
+	return opLatency + float64(len(data))/writeBytesPerSec, nil
+}
+
+// Read returns the content at path and the simulated I/O time.
+func (fs *FS) Read(path string) ([]byte, float64, error) {
+	p, err := clean(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	fs.mu.Lock()
+	data, ok := fs.files[p]
+	if ok {
+		fs.ops++
+		fs.bytesRead += int64(len(data))
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("simfs: %s: no such file", p)
+	}
+	return append([]byte(nil), data...), opLatency + float64(len(data))/readBytesPerSec, nil
+}
+
+// Stat returns the size of the file at path.
+func (fs *FS) Stat(path string) (int64, error) {
+	p, err := clean(path)
+	if err != nil {
+		return 0, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[p]
+	if !ok {
+		return 0, fmt.Errorf("simfs: %s: no such file", p)
+	}
+	return int64(len(data)), nil
+}
+
+// Exists reports whether path holds a file.
+func (fs *FS) Exists(path string) bool {
+	p, err := clean(path)
+	if err != nil {
+		return false
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[p]
+	return ok
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(path string) error {
+	p, err := clean(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[p]; !ok {
+		return fmt.Errorf("simfs: %s: no such file", p)
+	}
+	delete(fs.files, p)
+	return nil
+}
+
+// List returns the sorted paths under the given directory prefix.
+func (fs *FS) List(dir string) ([]string, error) {
+	p, err := clean(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := p
+	if prefix != "/" {
+		prefix += "/"
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for f := range fs.files {
+		if strings.HasPrefix(f, prefix) {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats reports cumulative operation and byte counters.
+func (fs *FS) Stats() (ops, bytesRead, bytesWritten int64) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.ops, fs.bytesRead, fs.bytesWrite
+}
+
+// TotalBytes returns the sum of all stored file sizes (the "600 GB"
+// figure of the paper, scaled to this reproduction).
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, d := range fs.files {
+		n += int64(len(d))
+	}
+	return n
+}

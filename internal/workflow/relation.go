@@ -1,0 +1,82 @@
+// Package workflow implements SciCumulus' algebraic workflow model
+// (Ogasawara et al., VLDB 2011): workflows are activities that consume
+// and produce relations of tuples under operators (Map, SplitMap,
+// Filter, Reduce). The engine executes one activation per (activity,
+// tuple) — the unit SciCumulus distributes across cloud VMs.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation: parameter name → value. SciCumulus
+// relations are textual (they are serialized into the activation's
+// working directory as key=value files).
+type Tuple map[string]string
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Merge returns a copy of t with all pairs of u added (u wins on
+// conflict) — how Map activities extend their input tuples.
+func (t Tuple) Merge(u Tuple) Tuple {
+	c := t.Clone()
+	for k, v := range u {
+		c[k] = v
+	}
+	return c
+}
+
+// Get returns a field value or an error naming the missing key; the
+// engine surfaces these as activation failures.
+func (t Tuple) Get(key string) (string, error) {
+	v, ok := t[key]
+	if !ok {
+		return "", fmt.Errorf("workflow: tuple missing field %q (has %s)", key, strings.Join(t.Keys(), ", "))
+	}
+	return v, nil
+}
+
+// Keys returns the sorted field names.
+func (t Tuple) Keys() []string {
+	out := make([]string, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the tuple deterministically for logs and provenance.
+func (t Tuple) String() string {
+	var sb strings.Builder
+	for i, k := range t.Keys() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, t[k])
+	}
+	return sb.String()
+}
+
+// Relation is a named multiset of tuples flowing between activities.
+type Relation struct {
+	Name   string
+	Tuples []Tuple
+}
+
+// NewRelation builds a relation from tuples.
+func NewRelation(name string, tuples []Tuple) *Relation {
+	return &Relation{Name: name, Tuples: tuples}
+}
+
+// Size returns the tuple count.
+func (r *Relation) Size() int { return len(r.Tuples) }

@@ -1,0 +1,187 @@
+// Package spec parses and emits the SciCumulus XML workflow
+// specification (Figure 2 of the paper). The XML carries the workflow
+// structure and instrumentation metadata; Run functions are bound by
+// tag after parsing.
+package spec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"repro/internal/workflow"
+)
+
+// XML document model, following the element names in Figure 2.
+type xmlDoc struct {
+	XMLName  xml.Name    `xml:"SciCumulus"`
+	Database xmlDatabase `xml:"database"`
+	Workflow xmlWorkflow `xml:"SciCumulusWorkflow"`
+}
+
+type xmlDatabase struct {
+	Name   string `xml:"name,attr"`
+	Server string `xml:"server,attr"`
+	Port   int    `xml:"port,attr"`
+}
+
+type xmlWorkflow struct {
+	Tag         string        `xml:"tag,attr"`
+	Description string        `xml:"description,attr"`
+	ExecTag     string        `xml:"exectag,attr"`
+	ExpDir      string        `xml:"expdir,attr"`
+	Activities  []xmlActivity `xml:"SciCumulusActivity"`
+}
+
+type xmlActivity struct {
+	Tag         string        `xml:"tag,attr"`
+	TemplateDir string        `xml:"templatedir,attr"`
+	Activation  string        `xml:"activation,attr"`
+	Operator    string        `xml:"operator,attr"`
+	Depends     string        `xml:"depends,attr"`
+	GroupKey    string        `xml:"groupkey,attr"`
+	Relations   []xmlRelation `xml:"Relation"`
+	Files       []xmlFile     `xml:"File"`
+}
+
+type xmlRelation struct {
+	RelType  string `xml:"reltype,attr"`
+	Name     string `xml:"name,attr"`
+	Filename string `xml:"filename,attr"`
+}
+
+type xmlFile struct {
+	Filename     string `xml:"filename,attr"`
+	Instrumented bool   `xml:"instrumented,attr"`
+}
+
+// Database holds the provenance database connection metadata from the
+// spec (informational in this reproduction — the store is embedded).
+type Database struct {
+	Name   string
+	Server string
+	Port   int
+}
+
+// Spec is a parsed SciCumulus workflow specification.
+type Spec struct {
+	Database Database
+	Workflow *workflow.Workflow
+}
+
+// Parse reads a SciCumulus XML specification. The resulting
+// activities have structure and templates but no Run bodies; use
+// Bind to attach them.
+func Parse(r io.Reader) (*Spec, error) {
+	var doc xmlDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	w := &workflow.Workflow{
+		Tag:         doc.Workflow.Tag,
+		Description: doc.Workflow.Description,
+		ExecTag:     doc.Workflow.ExecTag,
+		ExpDir:      doc.Workflow.ExpDir,
+	}
+	for _, xa := range doc.Workflow.Activities {
+		op, err := workflow.ParseOperator(xa.Operator)
+		if err != nil {
+			return nil, fmt.Errorf("spec: activity %q: %w", xa.Tag, err)
+		}
+		a := &workflow.Activity{
+			Tag:      xa.Tag,
+			Op:       op,
+			Template: xa.Activation,
+			GroupKey: xa.GroupKey,
+		}
+		if xa.Depends != "" {
+			a.Depends = splitCSV(xa.Depends)
+		}
+		w.Activities = append(w.Activities, a)
+	}
+	return &Spec{
+		Database: Database(doc.Database),
+		Workflow: w,
+	}, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, trimSpaces(s[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trimSpaces(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Bind attaches Run functions by activity tag. Every activity must
+// receive a body; unknown tags in the map are rejected so typos fail
+// fast.
+func (s *Spec) Bind(bodies map[string]workflow.RunFunc) error {
+	seen := map[string]bool{}
+	for _, a := range s.Workflow.Activities {
+		fn, ok := bodies[a.Tag]
+		if !ok {
+			return fmt.Errorf("spec: no Run body for activity %q", a.Tag)
+		}
+		a.Run = fn
+		seen[a.Tag] = true
+	}
+	for tag := range bodies {
+		if !seen[tag] {
+			return fmt.Errorf("spec: Run body for unknown activity %q", tag)
+		}
+	}
+	return s.Workflow.Validate()
+}
+
+// Write emits the specification as SciCumulus XML (the inverse of
+// Parse, minus Run bodies).
+func Write(w io.Writer, s *Spec) error {
+	doc := xmlDoc{
+		Database: xmlDatabase(s.Database),
+		Workflow: xmlWorkflow{
+			Tag:         s.Workflow.Tag,
+			Description: s.Workflow.Description,
+			ExecTag:     s.Workflow.ExecTag,
+			ExpDir:      s.Workflow.ExpDir,
+		},
+	}
+	for _, a := range s.Workflow.Activities {
+		xa := xmlActivity{
+			Tag:        a.Tag,
+			Activation: a.Template,
+			Operator:   a.Op.String(),
+			GroupKey:   a.GroupKey,
+		}
+		for i, d := range a.Depends {
+			if i > 0 {
+				xa.Depends += ","
+			}
+			xa.Depends += d
+		}
+		doc.Workflow.Activities = append(doc.Workflow.Activities, xa)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workflow"
+)
+
+// paperXML mirrors the excerpt of Figure 2 with the full SciDock
+// chain added.
+const paperXML = `<SciCumulus>
+<database name="scicumulus" port="5432" server="ec2-50-17-107-164.compute-1.amazonaws.com"/>
+<SciCumulusWorkflow tag="SciDock" description="Docking" exectag="scidock" expdir="/root/scidock/">
+  <SciCumulusActivity tag="babel" templatedir="/root/scidock/template_babel/" activation="./experiment.cmd %LIGAND%">
+    <Relation reltype="Input" name="rel_in_1" filename="input_1.txt"/>
+    <Relation reltype="Output" name="rel_out1" filename="output_1.txt"/>
+    <File filename="experiment.cmd" instrumented="true"/>
+  </SciCumulusActivity>
+  <SciCumulusActivity tag="ligprep" activation="./prepare_ligand4.py %LIGAND%" depends="babel"/>
+  <SciCumulusActivity tag="recprep" activation="./prepare_receptor4.py %RECEPTOR%"/>
+  <SciCumulusActivity tag="filter" operator="FILTER" activation="./filter.py %RECEPTOR%" depends="ligprep,recprep"/>
+</SciCumulusWorkflow>
+</SciCumulus>`
+
+func TestParsePaperXML(t *testing.T) {
+	s, err := Parse(strings.NewReader(paperXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Database.Name != "scicumulus" || s.Database.Port != 5432 {
+		t.Errorf("database = %+v", s.Database)
+	}
+	w := s.Workflow
+	if w.Tag != "SciDock" || w.Description != "Docking" || w.ExpDir != "/root/scidock/" {
+		t.Errorf("workflow header = %+v", w)
+	}
+	if len(w.Activities) != 4 {
+		t.Fatalf("activities = %d", len(w.Activities))
+	}
+	f, err := w.Activity("filter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != workflow.Filter {
+		t.Errorf("filter op = %v", f.Op)
+	}
+	if len(f.Depends) != 2 || f.Depends[0] != "ligprep" || f.Depends[1] != "recprep" {
+		t.Errorf("depends = %v", f.Depends)
+	}
+	b, _ := w.Activity("babel")
+	if b.Template != "./experiment.cmd %LIGAND%" {
+		t.Errorf("template = %q", b.Template)
+	}
+}
+
+func TestBind(t *testing.T) {
+	s, err := Parse(strings.NewReader(paperXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func(in workflow.Tuple) (*workflow.ActivationResult, error) {
+		return &workflow.ActivationResult{Outputs: []workflow.Tuple{in}}, nil
+	}
+	bodies := map[string]workflow.RunFunc{
+		"babel": ok, "ligprep": ok, "recprep": ok, "filter": ok,
+	}
+	if err := s.Bind(bodies); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range s.Workflow.Activities {
+		if a.Run == nil {
+			t.Errorf("activity %q unbound", a.Tag)
+		}
+	}
+	// Missing body fails.
+	s2, _ := Parse(strings.NewReader(paperXML))
+	delete(bodies, "filter")
+	if err := s2.Bind(bodies); err == nil {
+		t.Error("missing body accepted")
+	}
+	// Extra body fails.
+	s3, _ := Parse(strings.NewReader(paperXML))
+	bodies["filter"] = ok
+	bodies["typo"] = ok
+	if err := s3.Bind(bodies); err == nil {
+		t.Error("unknown body accepted")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	s, err := Parse(strings.NewReader(paperXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if again.Workflow.Tag != s.Workflow.Tag ||
+		len(again.Workflow.Activities) != len(s.Workflow.Activities) {
+		t.Errorf("round trip lost structure")
+	}
+	f, _ := again.Workflow.Activity("filter")
+	if f.Op != workflow.Filter || len(f.Depends) != 2 {
+		t.Errorf("filter after round trip: %+v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("not xml")); err == nil {
+		t.Error("garbage accepted")
+	}
+	bad := `<SciCumulus><SciCumulusWorkflow tag="W">
+	<SciCumulusActivity tag="x" operator="NOPE"/>
+	</SciCumulusWorkflow></SciCumulus>`
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("bad operator accepted")
+	}
+}
+
+func TestReduceActivitySpecRoundTrip(t *testing.T) {
+	xml := `<SciCumulus><SciCumulusWorkflow tag="W" expdir="/e/">
+<SciCumulusActivity tag="m" activation="./m %K%"/>
+<SciCumulusActivity tag="r" operator="REDUCE" groupkey="K" activation="./r %K%" depends="m"/>
+</SciCumulusWorkflow></SciCumulus>`
+	s, err := Parse(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Workflow.Activity("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != workflow.Reduce || r.GroupKey != "K" {
+		t.Errorf("reduce activity = %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := again.Workflow.Activity("r")
+	if r2.GroupKey != "K" || r2.Op != workflow.Reduce {
+		t.Errorf("groupkey lost in round trip: %+v", r2)
+	}
+}
