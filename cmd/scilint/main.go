@@ -1,0 +1,137 @@
+// Command scilint runs scidock's domain-aware static analyzers over
+// the module and reports findings with file:line positions.
+//
+//	scilint [flags] [packages]
+//
+// Packages follow the go tool's pattern syntax ("./...", "internal/dock",
+// import paths); the default is "./...". Exit status: 0 when no
+// error-severity finding survives filtering, 1 when at least one does,
+// 2 on usage or load failure. Suppress a finding at its source line
+// (or the line above) with:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		severity = fs.String("severity", "warn", "minimum severity to report: warn or error")
+		noTests  = fs.Bool("notests", false, "skip _test.go files entirely")
+		list     = fs.Bool("list", false, "list registered analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: scilint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s  %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return 0
+	}
+
+	minSev, err := lint.ParseSeverity(*severity)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	pkgs, err := lint.Load(lint.LoadConfig{IncludeTests: !*noTests}, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			fmt.Fprintf(stderr, "scilint: %s: %d type error(s); first: %v\n",
+				pkg.Path, len(pkg.TypeErrors), pkg.TypeErrors[0])
+			return 2
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	filtered := diags[:0]
+	for _, d := range diags {
+		if d.Severity >= minSev {
+			filtered = append(filtered, d)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if filtered == nil {
+			filtered = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(filtered); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		cwd, err := os.Getwd()
+		if err != nil {
+			cwd = "" // fall back to absolute paths in output
+		}
+		for _, d := range filtered {
+			fmt.Fprintf(stdout, "%s: %s %s: %s\n", relPos(cwd, d), d.Severity, d.Analyzer, d.Message)
+		}
+		if len(filtered) > 0 {
+			counts := map[string]int{}
+			for _, d := range filtered {
+				counts[d.Analyzer]++
+			}
+			names := make([]string, 0, len(counts))
+			for n := range counts {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(stdout, "scilint: %d finding(s):", len(filtered))
+			for _, n := range names {
+				fmt.Fprintf(stdout, " %s=%d", n, counts[n])
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+
+	for _, d := range filtered {
+		if d.Severity == lint.Error {
+			return 1
+		}
+	}
+	return 0
+}
+
+// relPos renders a position with a path relative to the working
+// directory when possible, keeping output stable across machines.
+func relPos(cwd string, d lint.Diagnostic) string {
+	name := d.Pos.Filename
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", name, d.Pos.Line, d.Pos.Column)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const (
+	sickPkg  = "../../internal/lint/testdata/src/sick"
+	dockPkg  = "../../internal/lint/testdata/src/internal/dock"
+	cleanPkg = "../../internal/lint/testdata/src/clean"
+)
+
+// exec runs the driver in-process and returns (exit, stdout, stderr).
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSickFixtureFailsTheGate(t *testing.T) {
+	code, out, errOut := exec(t, sickPkg, dockPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (error findings present); stderr: %s", code, errOut)
+	}
+	for _, an := range []string{"floatcmp", "discarderr", "mutexheld", "provpair", "ctxleak", "wildrand"} {
+		if !strings.Contains(out, " "+an+": ") {
+			t.Errorf("output missing %s finding:\n%s", an, out)
+		}
+	}
+	if !strings.Contains(out, "scilint: ") || !strings.Contains(out, "finding(s):") {
+		t.Errorf("output missing summary line:\n%s", out)
+	}
+	// Every finding line leads with file:line:col into a fixture file.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "scilint: ") {
+			continue
+		}
+		if !strings.Contains(line, ".go:") {
+			t.Errorf("finding line without file:line position: %q", line)
+		}
+	}
+}
+
+func TestCleanFixturePasses(t *testing.T) {
+	code, out, errOut := exec(t, cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, out, errOut)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean fixture produced output:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := exec(t, "-json", sickPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		Sev      string `json:"severity"`
+		Pos      struct {
+			Filename string `json:"Filename"`
+			Line     int    `json:"Line"`
+		} `json:"position"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty for the sick fixture")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.Message == "" || d.Pos.Line == 0 {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Sev != "warn" && d.Sev != "error" {
+			t.Errorf("bad severity %q in %+v", d.Sev, d)
+		}
+	}
+}
+
+func TestSeverityFilter(t *testing.T) {
+	// The sick fixture has warn findings (mutexheld sleep-while-held,
+	// ctxleak worker loop); -severity error must drop them from the
+	// output while error findings keep the exit code at 1.
+	code, out, _ := exec(t, "-severity", "error", sickPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (error findings survive the filter)", code)
+	}
+	if strings.Contains(out, " warn ") {
+		t.Errorf("-severity error leaked warn findings:\n%s", out)
+	}
+	if !strings.Contains(out, " error ") {
+		t.Errorf("-severity error shows no error findings:\n%s", out)
+	}
+
+	code, _, errOut := exec(t, "-severity", "bogus", sickPkg)
+	if code != 2 {
+		t.Errorf("bogus severity: exit = %d, want 2; stderr: %s", code, errOut)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := exec(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, an := range []string{"ctxleak", "discarderr", "floatcmp", "mutexheld", "provpair", "wildrand"} {
+		if !strings.Contains(out, an) {
+			t.Errorf("-list missing analyzer %s:\n%s", an, out)
+		}
+	}
+}
+
+func TestUnknownPackagePattern(t *testing.T) {
+	code, _, errOut := exec(t, "no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for unresolvable pattern; stderr: %s", code, errOut)
+	}
+	if strings.TrimSpace(errOut) == "" {
+		t.Error("load failure produced no stderr diagnostics")
+	}
+}

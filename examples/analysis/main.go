@@ -96,7 +96,10 @@ func main() {
 	if len(clusters) >= 2 {
 		a := lig.Coords(res.Runs[clusters[0].Representative].Pose)
 		b := lig.Coords(res.Runs[clusters[1].Representative].Pose)
-		plain, _ := chem.RMSD(a, b)
+		plain, err := chem.RMSD(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
 		kabsch, err := chem.KabschRMSD(a, b)
 		if err != nil {
 			log.Fatal(err)

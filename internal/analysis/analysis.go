@@ -176,6 +176,7 @@ func ranks(x []float64) []float64 {
 	i := 0
 	for i < len(idx) {
 		j := i
+		//lint:ignore floatcmp rank ties must use exact equality; an epsilon would merge distinct values into one rank
 		for j+1 < len(idx) && x[idx[j+1]] == x[idx[i]] {
 			j++
 		}

@@ -103,7 +103,11 @@ func parsePDBAtom(line string) (chem.Atom, error) {
 	a.Residue = strings.TrimSpace(line[17:20])
 	a.Chain = strings.TrimSpace(line[21:22])
 	if rs := strings.TrimSpace(line[22:26]); rs != "" {
-		a.ResSeq, _ = strconv.Atoi(rs)
+		// Non-numeric residue sequence (e.g. hybrid-36 in huge
+		// structures) is tolerated and leaves ResSeq at zero.
+		if v, err := strconv.Atoi(rs); err == nil {
+			a.ResSeq = v
+		}
 	}
 	coords := [3]float64{}
 	for i, span := range [][2]int{{30, 38}, {38, 46}, {46, 54}} {

@@ -329,7 +329,11 @@ func ParsePDBQT(r io.Reader, name string) (*PDBQTLigand, error) {
 		case strings.HasPrefix(line, "TORSDOF"):
 			f := strings.Fields(line)
 			if len(f) >= 2 {
-				torsdof, _ = strconv.Atoi(f[1])
+				// A malformed count keeps the previous value rather
+				// than silently zeroing the declared torsion DOF.
+				if v, err := strconv.Atoi(f[1]); err == nil {
+					torsdof = v
+				}
 			}
 		}
 	}

@@ -30,6 +30,7 @@ type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//lint:ignore floatcmp heap comparator needs exact ordering; an epsilon breaks the strict weak ordering sort requires
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}

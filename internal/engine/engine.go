@@ -438,8 +438,14 @@ func (e *Engine) runStage(w *workflow.Workflow, act *workflow.Activity, actid, w
 			if cmdErr != nil {
 				cmd = act.Template
 			}
-			if err := e.DB.InsertActivation(p.Activation.ID, actid, wkfid, status,
-				e.vt(p.Start), e.vt(p.End), p.VMID, int64(p.Failures), cmd); err != nil {
+			// PROV-Wf lifecycle: the row is born RUNNING and closed
+			// with the terminal status (provpair enforces the pair).
+			if err := e.DB.BeginActivation(p.Activation.ID, actid, wkfid,
+				e.vt(p.Start), p.VMID, cmd); err != nil {
+				return nil, nil, err
+			}
+			if err := e.DB.CloseActivation(p.Activation.ID, status,
+				e.vt(p.End), int64(p.Failures)); err != nil {
 				return nil, nil, err
 			}
 			stats.Failures += p.Failures

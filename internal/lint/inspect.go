@@ -1,0 +1,62 @@
+package lint
+
+import "go/ast"
+
+// inspector is the shared traversal: each package's ASTs are walked
+// exactly once at construction into a flat push/pop event list, and
+// every analyzer then replays that list instead of re-walking the
+// trees. The replay maintains the ancestor stack incrementally, so
+// analyzers get enclosing-node context for free.
+type inspector struct {
+	events []event
+}
+
+type event struct {
+	node ast.Node
+	push bool
+}
+
+func newInspector(files []*ast.File) *inspector {
+	in := &inspector{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				in.events = append(in.events, event{push: false})
+				return false
+			}
+			in.events = append(in.events, event{node: n, push: true})
+			return true
+		})
+	}
+	return in
+}
+
+// Inspect replays the cached walk. fn receives each node in preorder
+// together with its ancestor stack; stack[len(stack)-1] is n itself
+// and stack[0] is the enclosing *ast.File.
+func (p *Package) Inspect(fn func(n ast.Node, stack []ast.Node)) {
+	if p.insp == nil {
+		p.insp = newInspector(p.Files)
+	}
+	stack := make([]ast.Node, 0, 32)
+	for _, ev := range p.insp.events {
+		if !ev.push {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		stack = append(stack, ev.node)
+		fn(ev.node, stack)
+	}
+}
+
+// enclosingFuncName returns the name of the nearest enclosing declared
+// function or method on the stack, or "" inside a bare function
+// literal at file scope.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,56 @@
+// Package clean is the true-negative scilint fixture: it exercises
+// the same constructs as the sick fixture — float comparison, error
+// handling, mutex regions, provenance activations, worker goroutines —
+// written the way the analyzers want them, and must produce zero
+// findings.
+package clean
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/prov"
+)
+
+// AlmostEqual is the epsilon comparison floatcmp asks for.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ParsePort propagates the parse error instead of discarding it.
+func ParsePort(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+// Counter is mutex-guarded state with a disciplined critical section.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add holds the lock only for the in-memory increment.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// RecordRun pairs BeginActivation with CloseActivation on every path.
+func RecordRun(db *prov.DB, now time.Time) error {
+	if err := db.BeginActivation(1, 1, 1, now, "vm-0", "run"); err != nil {
+		return err
+	}
+	return db.CloseActivation(1, prov.StatusFinished, now, 0)
+}
+
+// StartWorker ranges over a closable job channel, so closing jobs
+// shuts the goroutine down.
+func StartWorker(c *Counter, jobs <-chan struct{}) {
+	go func() {
+		for range jobs {
+			c.Add()
+		}
+	}()
+}

@@ -1,0 +1,28 @@
+// Package dock is the wildrand scilint fixture. Its directory path
+// contains "internal/dock", which puts it on the analyzer's
+// deterministic hot-path list: global rand calls and wall-clock reads
+// are findings here, while the injected seeded source is not.
+package dock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-global rand source (wildrand, error).
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Stamp reads the wall clock in a hot path (wildrand, error).
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Seeded uses the approved injected-source pattern: constructors are
+// exempt, and methods on the local *rand.Rand are invisible to the
+// global-source check.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,60 @@
+// Package sick is a scilint test fixture: every function below
+// violates one analyzer on purpose. The package type-checks cleanly —
+// the defects are semantic, which is exactly what the analyzers are
+// for. testdata is invisible to go build, go vet and scilint's own
+// "./..." walk; only the internal/lint and cmd/scilint tests load it.
+package sick
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/prov"
+)
+
+// FloatEqual compares computed floats exactly (floatcmp, error).
+func FloatEqual(a, b float64) bool {
+	return a == b
+}
+
+// ParsePort drops the parse error on the floor (discarderr, error).
+func ParsePort(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+// Counter is mutex-guarded state used by the mutexheld cases.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Leak acquires the lock and never releases it (mutexheld, error).
+func (c *Counter) Leak() int {
+	c.mu.Lock()
+	return c.n
+}
+
+// SlowAdd sleeps inside the critical section (mutexheld, warn).
+func (c *Counter) SlowAdd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	c.n++
+}
+
+// RecordRun opens a provenance activation and never closes it
+// (provpair, error).
+func RecordRun(db *prov.DB, now time.Time) {
+	db.BeginActivation(1, 1, 1, now, "vm-0", "run")
+}
+
+// StartWorker spawns a goroutine with no shutdown path (ctxleak, warn).
+func StartWorker(c *Counter) {
+	go func() {
+		for {
+			c.SlowAdd()
+		}
+	}()
+}

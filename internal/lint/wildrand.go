@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WildRand flags non-reproducible entropy in the stochastic-search hot
+// paths. The Lamarckian GA and Monte-Carlo chains must replay
+// bit-identically from a recorded seed for the paper's re-execution
+// and consistency guarantees to hold, so inside the hot packages all
+// randomness has to flow through an injected, seeded *rand.Rand:
+//
+//   - calls through math/rand's (or math/rand/v2's) process-global
+//     source (rand.Intn, rand.Float64, rand.Shuffle, ...) are flagged;
+//     constructing a seeded generator (rand.New, rand.NewSource, ...)
+//     is the approved pattern and stays silent;
+//   - time.Now() is flagged: engine time is virtual (cost-model
+//     driven), and wall-clock reads make runs non-replayable.
+//
+// Test files are exempt.
+var WildRand = &Analyzer{
+	Name:     "wildrand",
+	Doc:      "flags math/rand global-source calls and time.Now() in deterministic hot paths",
+	Severity: Error,
+	Run:      runWildRand,
+}
+
+// wildRandHotPaths are import-path fragments marking the packages where
+// determinism is load-bearing.
+var wildRandHotPaths = []string{
+	"internal/dock",
+	"internal/engine",
+	"internal/sched",
+}
+
+// wildRandConstructors are the math/rand package-level functions that
+// build explicit generators rather than touching the global source.
+var wildRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWildRand(pass *Pass) {
+	hot := false
+	for _, frag := range wildRandHotPaths {
+		if strings.Contains(pass.Path, frag) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+	pass.Inspect(func(n ast.Node, _ []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.IsTestFile(call.Pos()) {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return // method call on a value, e.g. r.Intn on *rand.Rand
+		}
+		switch pkgName.Imported().Path() {
+		case "math/rand", "math/rand/v2":
+			if !wildRandConstructors[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"math/rand global source call rand.%s in deterministic hot path; thread an injected seeded *rand.Rand instead",
+					sel.Sel.Name)
+			}
+		case "time":
+			if sel.Sel.Name == "Now" {
+				pass.Reportf(call.Pos(),
+					"time.Now() in deterministic hot path; use the engine's virtual clock or inject a clock function")
+			}
+		}
+	})
+}

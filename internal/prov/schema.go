@@ -84,11 +84,29 @@ func (db *DB) InsertRelation(relid, actid int64, relname, reltype, filename stri
 	return db.Insert(TableRelation, []Value{relid, actid, relname, reltype, filename})
 }
 
-// InsertActivation records an hactivation row (typically RUNNING; the
-// engine closes it with CloseActivation).
+// InsertActivation records a complete hactivation row in one shot,
+// for activations whose outcome is already terminal when recorded
+// (steering aborts, pre-dispatch failures). Activations that actually
+// execute must use the BeginActivation/CloseActivation pair so the
+// RUNNING state is visible to runtime queries and re-execution; the
+// provpair analyzer (cmd/scilint) enforces the pairing.
 func (db *DB) InsertActivation(taskid, actid, wkfid int64, status string, start, end time.Time, vmid string, failures int64, command string) error {
 	return db.Insert(TableActivation, []Value{
 		taskid, actid, wkfid, status, start, end, vmid, failures, command,
+	})
+}
+
+// BeginActivation opens an activation: it inserts a RUNNING
+// hactivation row (endtime provisionally equal to starttime) that a
+// matching CloseActivation completes. Every BeginActivation must be
+// paired with a CloseActivation on all control-flow paths — an
+// activation left RUNNING by a completed code path is
+// indistinguishable from a crash, which breaks the ~10% transient
+// re-execution accounting the paper's fault-tolerance results rely
+// on. The scilint provpair analyzer checks this statically.
+func (db *DB) BeginActivation(taskid, actid, wkfid int64, start time.Time, vmid, command string) error {
+	return db.Insert(TableActivation, []Value{
+		taskid, actid, wkfid, StatusRunning, start, start, vmid, int64(0), command,
 	})
 }
 

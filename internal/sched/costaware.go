@@ -93,6 +93,15 @@ func (p *CostAwarePolicy) Evaluate(totalWork float64, activations int) []Plan {
 	return out
 }
 
+// planLess orders plans lexicographically by (cost, TET).
+func planLess(a, b *Plan) bool {
+	//lint:ignore floatcmp lexicographic tie-break; near-equal costs make either plan acceptable
+	if a.EstimatedUSD != b.EstimatedUSD {
+		return a.EstimatedUSD < b.EstimatedUSD
+	}
+	return a.EstimatedTET < b.EstimatedTET
+}
+
 // Choose picks the cheapest plan that meets the deadline, or the
 // fastest plan when none does.
 func (p *CostAwarePolicy) Choose(totalWork float64, activations int) (Plan, error) {
@@ -106,8 +115,7 @@ func (p *CostAwarePolicy) Choose(totalWork float64, activations int) (Plan, erro
 		if !pl.MeetsDeadline {
 			continue
 		}
-		if best == nil || pl.EstimatedUSD < best.EstimatedUSD ||
-			(pl.EstimatedUSD == best.EstimatedUSD && pl.EstimatedTET < best.EstimatedTET) {
+		if best == nil || planLess(pl, best) {
 			best = pl
 		}
 	}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1+ correctness gate: build, vet, domain-aware static analysis
+# (cmd/scilint), then the full test suite under the race detector.
+# Run from anywhere inside the repo; exits non-zero on the first
+# failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> scilint ./..."
+go run ./cmd/scilint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check: all gates passed"
