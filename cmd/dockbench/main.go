@@ -6,6 +6,8 @@
 //	dockbench -exp all          # every table and figure (minutes)
 //	dockbench -exp f7           # the TET scalability curve
 //	dockbench -exp t3 -quick    # reduced workload (seconds)
+//	dockbench -exp kernels      # docking kernel microbenchmarks,
+//	                            # also written to -benchout as JSON
 package main
 
 import (
@@ -18,11 +20,32 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11 or all")
-		quick = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
+		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels or all")
+		quick    = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
+		benchout = flag.String("benchout", "BENCH_kernels.json", "JSON output path for -exp kernels (empty to skip)")
 	)
 	flag.Parse()
 	s := &experiments.Suite{Quick: *quick}
+	if *exp == "kernels" {
+		rep, err := s.Kernels()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dockbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *benchout != "" {
+			js, err := rep.JSON()
+			if err == nil {
+				err = os.WriteFile(*benchout, append(js, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dockbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *benchout)
+		}
+		return
+	}
 	out, err := s.ByName(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dockbench:", err)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chem"
 	"repro/internal/dock"
+	"repro/internal/dock/tables"
 	"repro/internal/grid"
 )
 
@@ -27,7 +28,11 @@ const (
 )
 
 // Scorer evaluates the AD4 free energy of binding of a ligand
-// conformation against precomputed AutoGrid maps.
+// conformation against precomputed AutoGrid maps. The intramolecular
+// term reads the pair potential from the r²-indexed radial tables of
+// internal/dock/tables (with the r ≥ 0.5 Å clamp baked in), so the
+// per-pair hot loop takes no sqrt; ScoreAnalytic keeps the closed-form
+// path as the golden reference.
 type Scorer struct {
 	Maps *grid.Maps
 	Lig  *dock.Ligand
@@ -35,7 +40,18 @@ type Scorer struct {
 	atomTypes  []chem.AtomType
 	charges    []float64
 	intraPairs [][2]int
+	intraTbl   []intraPair
 	torsTerm   float64
+}
+
+// intraPair is one precomputed intramolecular interaction: the atom
+// index pair, the radial table of its type pair, and the constant
+// Coulomb numerator qi·qj·332.06/ε so the electrostatic part is one
+// division by r².
+type intraPair struct {
+	i, j int32
+	tbl  *tables.Radial
+	qq   float64
 }
 
 // NewScorer prepares per-atom lookups and the intramolecular pair
@@ -55,6 +71,14 @@ func NewScorer(maps *grid.Maps, lig *dock.Ligand) (*Scorer, error) {
 		s.charges = append(s.charges, a.Charge)
 	}
 	s.intraPairs = intraPairs(lig.Mol)
+	for _, pr := range s.intraPairs {
+		i, j := pr[0], pr[1]
+		s.intraTbl = append(s.intraTbl, intraPair{
+			i: int32(i), j: int32(j),
+			tbl: tables.AD4Pair(s.atomTypes[i], s.atomTypes[j]),
+			qq:  coulombConst * s.charges[i] * s.charges[j] / intraDielec,
+		})
+	}
 	s.torsTerm = weightTors * float64(lig.NumTorsions())
 	return s, nil
 }
@@ -128,6 +152,30 @@ func (s *Scorer) interEnergy(coords []chem.Vec3) float64 {
 }
 
 func (s *Scorer) intra(coords []chem.Vec3) float64 {
+	const cut2 = intraCutoff * intraCutoff
+	var e float64
+	for _, pr := range s.intraTbl {
+		r2 := coords[pr.i].Dist2(coords[pr.j])
+		if r2 > cut2 {
+			continue
+		}
+		if r2 < tables.RMin2 {
+			r2 = tables.RMin2 // AutoDock's r ≥ 0.5 Å clamp, in r² space
+		}
+		e += pr.tbl.At2(r2) + pr.qq/r2
+	}
+	return e
+}
+
+// ScoreAnalytic is Score with the intramolecular term evaluated from
+// the closed-form pair potential (sqrt per pair) instead of the radial
+// tables: the golden reference for the table equivalence tests and the
+// baseline the kernel benchmarks report speedups over.
+func (s *Scorer) ScoreAnalytic(coords []chem.Vec3) float64 {
+	return s.interEnergy(coords) + weightIntra*s.intraAnalytic(coords) + s.torsTerm
+}
+
+func (s *Scorer) intraAnalytic(coords []chem.Vec3) float64 {
 	var e float64
 	for _, pr := range s.intraPairs {
 		i, j := pr[0], pr[1]

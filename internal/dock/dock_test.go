@@ -203,6 +203,80 @@ func TestNeighborListMatchesBruteForce(t *testing.T) {
 	}
 }
 
+func TestNeighborListForNeighbors2(t *testing.T) {
+	rec, _ := data.GenerateReceptor("1CSB")
+	nl := NewNeighborList(rec, 8)
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		q := chem.V(r.Float64()*30-15, r.Float64()*30-15, r.Float64()*30-15)
+		got := map[int]bool{}
+		nl.ForNeighbors2(q, func(i int, r2 float64) {
+			got[i] = true
+			if want := rec.Atoms[i].Pos.Dist2(q); math.Abs(r2-want) > 1e-9 {
+				t.Fatalf("r² wrong for atom %d: got %v want %v", i, r2, want)
+			}
+		})
+		for i, a := range rec.Atoms {
+			if (a.Pos.Dist(q) <= 8) != got[i] {
+				t.Fatalf("trial %d: atom %d membership mismatch", trial, i)
+			}
+		}
+	}
+}
+
+// TestNeighborListBoundaryFaces probes each face of the
+// cutoff-expanded bounding box: a query just inside the guard must see
+// exactly the brute-force neighbour set (usually empty but the guard
+// may not drop real neighbours), and a query just outside must
+// early-out with zero visits.
+func TestNeighborListBoundaryFaces(t *testing.T) {
+	rec, _ := data.GenerateReceptor("1CSB")
+	const cutoff = 8.0
+	nl := NewNeighborList(rec, cutoff)
+	min, max := chem.BoundingBox(rec.Positions())
+	center := min.Add(max).Scale(0.5)
+	const eps = 1e-6
+	cases := []struct {
+		name   string
+		q      chem.Vec3
+		inside bool
+	}{
+		{"-x inside", chem.V(min.X-cutoff+eps, center.Y, center.Z), true},
+		{"-x outside", chem.V(min.X-cutoff-eps, center.Y, center.Z), false},
+		{"+x inside", chem.V(max.X+cutoff-eps, center.Y, center.Z), true},
+		{"+x outside", chem.V(max.X+cutoff+eps, center.Y, center.Z), false},
+		{"-y inside", chem.V(center.X, min.Y-cutoff+eps, center.Z), true},
+		{"-y outside", chem.V(center.X, min.Y-cutoff-eps, center.Z), false},
+		{"+y inside", chem.V(center.X, max.Y+cutoff-eps, center.Z), true},
+		{"+y outside", chem.V(center.X, max.Y+cutoff+eps, center.Z), false},
+		{"-z inside", chem.V(center.X, center.Y, min.Z-cutoff+eps), true},
+		{"-z outside", chem.V(center.X, center.Y, min.Z-cutoff-eps), false},
+		{"+z inside", chem.V(center.X, center.Y, max.Z+cutoff-eps), true},
+		{"+z outside", chem.V(center.X, center.Y, max.Z+cutoff+eps), false},
+	}
+	for _, tc := range cases {
+		brute := map[int]bool{}
+		for i, a := range rec.Atoms {
+			if a.Pos.Dist(tc.q) <= cutoff {
+				brute[i] = true
+			}
+		}
+		if !tc.inside && len(brute) != 0 {
+			t.Fatalf("%s: test is self-inconsistent, brute found %d", tc.name, len(brute))
+		}
+		got := map[int]bool{}
+		nl.ForNeighbors2(tc.q, func(i int, r2 float64) { got[i] = true })
+		if len(got) != len(brute) {
+			t.Errorf("%s: got %d neighbours, brute %d", tc.name, len(got), len(brute))
+		}
+		for i := range brute {
+			if !got[i] {
+				t.Errorf("%s: missing atom %d", tc.name, i)
+			}
+		}
+	}
+}
+
 func TestRefineValidation(t *testing.T) {
 	lig := testLigand(t, "0E6")
 	box := Box{Center: chem.Vec3{}, Size: chem.V(20, 20, 20)}

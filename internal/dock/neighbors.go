@@ -8,28 +8,42 @@ import (
 
 // NeighborList is a cell-list spatial index over a rigid atom set,
 // used by Vina to find receptor atoms within the interaction cutoff
-// of each ligand atom without O(N·M) scans.
+// of each ligand atom without O(N·M) scans. Atom indices are stored in
+// a flat CSR layout (one []int32 plus per-cell offsets) so a query
+// walks contiguous memory instead of chasing per-bucket slice headers.
 type NeighborList struct {
-	cutoff  float64
-	min     chem.Vec3
-	dims    [3]int
-	buckets [][]int
-	pos     []chem.Vec3
+	cutoff   float64
+	min, max chem.Vec3 // atom bounding box, for the cutoff-expanded guard
+	dims     [3]int
+	start    []int32 // CSR offsets, len = #cells + 1
+	idx      []int32 // atom indices grouped by cell
+	pos      []chem.Vec3
 }
 
 // NewNeighborList indexes the molecule's atoms with the given cutoff.
 func NewNeighborList(m *chem.Molecule, cutoff float64) *NeighborList {
 	pts := m.Positions()
 	min, max := chem.BoundingBox(pts)
-	nl := &NeighborList{cutoff: cutoff, min: min, pos: pts}
+	nl := &NeighborList{cutoff: cutoff, min: min, max: max, pos: pts}
 	span := max.Sub(min)
 	nl.dims[0] = int(span.X/cutoff) + 1
 	nl.dims[1] = int(span.Y/cutoff) + 1
 	nl.dims[2] = int(span.Z/cutoff) + 1
-	nl.buckets = make([][]int, nl.dims[0]*nl.dims[1]*nl.dims[2])
+	ncells := nl.dims[0] * nl.dims[1] * nl.dims[2]
+	nl.start = make([]int32, ncells+1)
+	for _, p := range pts {
+		nl.start[nl.index(nl.cellOf(p))+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		nl.start[c+1] += nl.start[c]
+	}
+	nl.idx = make([]int32, len(pts))
+	cursor := make([]int32, ncells)
+	copy(cursor, nl.start[:ncells])
 	for i, p := range pts {
 		b := nl.index(nl.cellOf(p))
-		nl.buckets[b] = append(nl.buckets[b], i)
+		nl.idx[cursor[b]] = int32(i)
+		cursor[b]++
 	}
 	return nl
 }
@@ -53,27 +67,81 @@ func (nl *NeighborList) index(c [3]int) int {
 	return (c[2]*nl.dims[1]+c[1])*nl.dims[0] + c[0]
 }
 
-// ForNeighbors calls fn for every indexed atom within cutoff of p,
-// passing the atom index and its distance.
-func (nl *NeighborList) ForNeighbors(p chem.Vec3, fn func(i int, r float64)) {
-	c := nl.cellOf(p)
-	if c[0] < -1 || c[0] > nl.dims[0] || c[1] < -1 || c[1] > nl.dims[1] || c[2] < -1 || c[2] > nl.dims[2] {
-		return
+// Spans writes the CSR [start, end) ranges of the (≤27) cells around p
+// into out and returns how many are non-empty. Callers iterate
+// Indices()[span[0]:span[1]] and distance-filter against Positions()
+// themselves, keeping their per-atom hot loop free of function calls.
+//
+// The early-out is the cutoff-expanded atom bounding box: any point
+// farther than one cutoff outside the box that contains every atom
+// cannot have a neighbour within the cutoff. (The previous guard
+// compared clamped cell coordinates against unclamped ones and so let
+// far-away points fall through to a full 27-cell walk of edge cells.)
+func (nl *NeighborList) Spans(p chem.Vec3, out *[27][2]int32) int {
+	if p.X < nl.min.X-nl.cutoff || p.X > nl.max.X+nl.cutoff ||
+		p.Y < nl.min.Y-nl.cutoff || p.Y > nl.max.Y+nl.cutoff ||
+		p.Z < nl.min.Z-nl.cutoff || p.Z > nl.max.Z+nl.cutoff {
+		return 0
 	}
-	cut2 := nl.cutoff * nl.cutoff
+	c := nl.cellOf(p)
+	n := 0
 	for dz := -1; dz <= 1; dz++ {
+		z := c[2] + dz
+		if z < 0 || z >= nl.dims[2] {
+			continue
+		}
 		for dy := -1; dy <= 1; dy++ {
+			y := c[1] + dy
+			if y < 0 || y >= nl.dims[1] {
+				continue
+			}
+			row := (z*nl.dims[1] + y) * nl.dims[0]
 			for dx := -1; dx <= 1; dx++ {
-				x, y, z := c[0]+dx, c[1]+dy, c[2]+dz
-				if x < 0 || x >= nl.dims[0] || y < 0 || y >= nl.dims[1] || z < 0 || z >= nl.dims[2] {
+				x := c[0] + dx
+				if x < 0 || x >= nl.dims[0] {
 					continue
 				}
-				for _, i := range nl.buckets[(z*nl.dims[1]+y)*nl.dims[0]+x] {
-					if r2 := nl.pos[i].Dist2(p); r2 <= cut2 {
-						fn(i, math.Sqrt(r2))
-					}
+				b := row + x
+				if s, e := nl.start[b], nl.start[b+1]; s < e {
+					out[n] = [2]int32{s, e}
+					n++
 				}
 			}
 		}
 	}
+	return n
+}
+
+// Indices returns the CSR atom-index array Spans ranges refer to.
+// Read-only; shared with the list itself.
+func (nl *NeighborList) Indices() []int32 { return nl.idx }
+
+// Positions returns the indexed atom positions, ordered by atom index.
+// Read-only; shared with the list itself.
+func (nl *NeighborList) Positions() []chem.Vec3 { return nl.pos }
+
+// ForNeighbors2 calls fn for every indexed atom within cutoff of p,
+// passing the atom index and the squared distance. This is the form
+// the table-backed scorers want: cell walks produce r² for free and
+// the radial tables are r²-indexed, so no sqrt is ever taken.
+func (nl *NeighborList) ForNeighbors2(p chem.Vec3, fn func(i int, r2 float64)) {
+	var spans [27][2]int32
+	n := nl.Spans(p, &spans)
+	cut2 := nl.cutoff * nl.cutoff
+	for s := 0; s < n; s++ {
+		for _, i := range nl.idx[spans[s][0]:spans[s][1]] {
+			if r2 := nl.pos[i].Dist2(p); r2 <= cut2 {
+				fn(int(i), r2)
+			}
+		}
+	}
+}
+
+// ForNeighbors calls fn for every indexed atom within cutoff of p,
+// passing the atom index and its distance (a sqrt-taking convenience
+// wrapper over ForNeighbors2).
+func (nl *NeighborList) ForNeighbors(p chem.Vec3, fn func(i int, r float64)) {
+	nl.ForNeighbors2(p, func(i int, r2 float64) {
+		fn(i, math.Sqrt(r2))
+	})
 }

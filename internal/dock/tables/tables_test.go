@@ -1,0 +1,197 @@
+package tables
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+)
+
+// sweepTypes is a representative cross-section of the AD4 alphabet:
+// polar hydrogen, plain/aromatic carbon, donor and acceptor nitrogen,
+// oxygen and sulfur acceptors, a halogen, and a metal.
+var sweepTypes = []chem.AtomType{
+	chem.TypeHD, chem.TypeC, chem.TypeA, chem.TypeN,
+	chem.TypeNA, chem.TypeOA, chem.TypeSA, chem.TypeCl, chem.TypeZn,
+}
+
+// tolerance is the golden-pinned interpolation error bound: 1e-3
+// kcal/mol absolute wherever the potential is in the physically
+// scored range (|E| up to a few kcal/mol), relaxing to 2e-4 relative
+// inside the repulsive core where energies reach 1e5+ kcal/mol and
+// map generation clamps them anyway. See DESIGN.md "Kernel
+// architecture — radial tables".
+func tolerance(analytic float64) float64 {
+	return 1e-3 + 2e-4*math.Abs(analytic)
+}
+
+// sweep evaluates both forms over a dense deterministic sweep plus
+// seeded random points of r ∈ [lo, Cutoff], failing on any deviation
+// beyond tolerance.
+func sweep(t *testing.T, name string, lo float64, tbl *Radial, analytic func(r float64) float64) {
+	t.Helper()
+	check := func(r float64) {
+		t.Helper()
+		want := analytic(r)
+		got := tbl.At2(r * r)
+		if d := math.Abs(got - want); d > tolerance(want) {
+			t.Fatalf("%s: r=%.6f table=%.8g analytic=%.8g |Δ|=%.3g > tol %.3g",
+				name, r, got, want, d, tolerance(want))
+		}
+	}
+	for r := lo; r <= Cutoff; r += 0.01 {
+		check(r)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		check(lo + rng.Float64()*(Cutoff-lo))
+	}
+}
+
+func TestAD4SmoothedMatchesAnalytic(t *testing.T) {
+	for _, a := range sweepTypes {
+		for _, b := range sweepTypes {
+			pa, pb := a.Params(), b.Params()
+			sweep(t, "AD4Smoothed("+string(a)+","+string(b)+")", RMin,
+				AD4Smoothed(a, b), func(r float64) float64 {
+					return PairEnergySmoothed(pa, pb, r, SmoothRadius)
+				})
+		}
+	}
+}
+
+func TestAD4PairMatchesAnalytic(t *testing.T) {
+	for _, a := range sweepTypes {
+		for _, b := range sweepTypes {
+			pa, pb := a.Params(), b.Params()
+			sweep(t, "AD4Pair("+string(a)+","+string(b)+")", RMin,
+				AD4Pair(a, b), func(r float64) float64 {
+					return PairEnergy(pa, pb, r)
+				})
+		}
+	}
+}
+
+func TestVinaMatchesAnalytic(t *testing.T) {
+	for _, a := range sweepTypes {
+		for _, b := range sweepTypes {
+			pa, pb := a.Params(), b.Params()
+			sweep(t, "Vina("+string(a)+","+string(b)+")", RMin,
+				Vina(a, b), func(r float64) float64 {
+					return VinaPair(pa, pb, r)
+				})
+		}
+	}
+}
+
+func TestElectrostaticMatchesAnalytic(t *testing.T) {
+	sweep(t, "Electrostatic", RMin, Electrostatic(), ElecScale)
+}
+
+func TestDesolvationMatchesAnalytic(t *testing.T) {
+	sweep(t, "Desolvation", RMin, Desolvation(), DesolvWeight)
+}
+
+// Below RMin the clamped tables must return the value at RMin (the
+// clamp is baked in and lands exactly on a table node).
+func TestClampBakedIn(t *testing.T) {
+	tbl := AD4Smoothed(chem.TypeC, chem.TypeC)
+	want := PairEnergySmoothed(chem.TypeC.Params(), chem.TypeC.Params(), RMin, SmoothRadius)
+	for _, r2 := range []float64{0, 0.01, 0.1, RMin2} {
+		if got := tbl.At2(r2); math.Abs(got-want) > tolerance(want) {
+			t.Errorf("At2(%v) = %v, want clamped %v", r2, got, want)
+		}
+	}
+	if got := Electrostatic().At2(0); math.Abs(got-ElecScale(RMin)) > 1e-3 {
+		t.Errorf("elec At2(0) = %v, want %v", got, ElecScale(RMin))
+	}
+}
+
+// Queries at or beyond the cutoff return the final node, where every
+// potential is negligibly small.
+func TestBeyondCutoff(t *testing.T) {
+	for _, tbl := range []*Radial{
+		AD4Smoothed(chem.TypeC, chem.TypeOA),
+		Vina(chem.TypeC, chem.TypeC),
+		Desolvation(),
+	} {
+		edge := tbl.At2(Cutoff * Cutoff)
+		if got := tbl.At2(Cutoff*Cutoff + 100); got != edge {
+			t.Errorf("beyond-cutoff At2 = %v, want edge value %v", got, edge)
+		}
+		if math.Abs(edge) > 0.05 {
+			t.Errorf("potential at cutoff = %v, want ~0", edge)
+		}
+	}
+}
+
+// The cache must hand out one shared table per symmetric pair.
+func TestCacheSymmetricAndShared(t *testing.T) {
+	if AD4Smoothed(chem.TypeC, chem.TypeOA) != AD4Smoothed(chem.TypeOA, chem.TypeC) {
+		t.Error("AD4Smoothed not symmetric-cached")
+	}
+	if Vina(chem.TypeN, chem.TypeOA) != Vina(chem.TypeOA, chem.TypeN) {
+		t.Error("Vina not symmetric-cached")
+	}
+	if Electrostatic() != Electrostatic() {
+		t.Error("Electrostatic rebuilt per call")
+	}
+}
+
+// The analytic pair functions are symmetric, which the symmetric
+// cache keying depends on.
+func TestAnalyticSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := sweepTypes[rng.Intn(len(sweepTypes))].Params()
+		b := sweepTypes[rng.Intn(len(sweepTypes))].Params()
+		r := RMin + rng.Float64()*(Cutoff-RMin)
+		if PairEnergy(a, b, r) != PairEnergy(b, a, r) {
+			t.Fatalf("PairEnergy asymmetric for %s-%s", a.Type, b.Type)
+		}
+		if VinaPair(a, b, r) != VinaPair(b, a, r) {
+			t.Fatalf("VinaPair asymmetric for %s-%s", a.Type, b.Type)
+		}
+	}
+}
+
+func BenchmarkAD4SmoothedTable(b *testing.B) {
+	tbl := AD4Smoothed(chem.TypeC, chem.TypeOA)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += tbl.At2(float64(i%6400) * 0.01)
+	}
+	_ = acc
+}
+
+func BenchmarkAD4SmoothedAnalytic(b *testing.B) {
+	pa, pb := chem.TypeC.Params(), chem.TypeOA.Params()
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += PairEnergySmoothed(pa, pb, math.Sqrt(float64(i%6400)*0.01), SmoothRadius)
+	}
+	_ = acc
+}
+
+func BenchmarkVinaTable(b *testing.B) {
+	tbl := Vina(chem.TypeC, chem.TypeC)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += tbl.At2(float64(i%6400) * 0.01)
+	}
+	_ = acc
+}
+
+func BenchmarkVinaAnalytic(b *testing.B) {
+	pa, pb := chem.TypeC.Params(), chem.TypeC.Params()
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += VinaPair(pa, pb, math.Sqrt(float64(i%6400)*0.01))
+	}
+	_ = acc
+}

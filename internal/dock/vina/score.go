@@ -5,42 +5,57 @@ package vina
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/chem"
 	"repro/internal/dock"
+	"repro/internal/dock/tables"
 )
 
-// Vina scoring-function weights (Trott & Olson 2010, Table 1).
+// Vina scoring-function weights (Trott & Olson 2010, Table 1). The
+// pairwise term weights live in internal/dock/tables (shared with the
+// radial table builder); here are only the ones the scorer applies
+// outside the pair function.
 const (
-	wGauss1     = -0.035579
-	wGauss2     = -0.005156
-	wRepulsion  = +0.840245
-	wHydrophob  = -0.035069
-	wHBond      = -0.587439
-	wRot        = +0.05846 // conformational entropy denominator weight
-	cutoff      = 8.0      // Å
-	intraWeight = 0.3      // internal contribution to the reported affinity
+	wRot        = +0.05846      // conformational entropy denominator weight
+	cutoff      = tables.Cutoff // Å
+	intraWeight = 0.3           // internal contribution to the reported affinity
 )
 
 // Scorer evaluates the Vina affinity of a ligand conformation against
 // receptor atoms (Vina computes its own internal grids; scoring
 // directly over a neighbour list is numerically equivalent at these
 // scales).
+//
+// The production scoring path reads every pair interaction from the
+// r²-indexed radial tables of internal/dock/tables — the neighbour
+// list hands out squared distances and no sqrt or exp is taken per
+// pair. ScoreAnalytic keeps the closed-form path as the golden
+// reference for equivalence tests and benchmarks.
 type Scorer struct {
 	Receptor *chem.Molecule
 	Lig      *dock.Ligand
 
-	nl         *dock.NeighborList
-	recTypes   []chem.TypeParams
-	ligTypes   []chem.TypeParams
-	ligIsH     []bool
-	intraPairs [][2]int
-	rotFactor  float64
-	intraRef   float64 // internal energy of the input conformation
+	nl        *dock.NeighborList
+	recTypes  []chem.TypeParams
+	ligTypes  []chem.TypeParams
+	ligIsH    []bool
+	recTblIdx []int32            // per receptor atom: column into interTbl rows, -1 for hydrogens
+	interTbl  [][]*tables.Radial // [ligand atom][receptor type index]; nil rows for ligand hydrogens
+	intraTbl  []intraPair        // heavy-atom 1-4+ pairs with their tables
+	rotFactor float64
+	intraRef  float64 // internal energy of the input conformation
 }
 
-// NewScorer indexes the receptor and precomputes per-atom parameters.
+// intraPair is one precomputed intramolecular interaction: the atom
+// index pair and the radial table of its type pair.
+type intraPair struct {
+	i, j int32
+	tbl  *tables.Radial
+}
+
+// NewScorer indexes the receptor and precomputes per-atom parameters
+// and the radial tables for every (ligand type, receptor type) pair in
+// play.
 func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
 	if receptor.NumAtoms() == 0 {
 		return nil, fmt.Errorf("vina: receptor %q has no atoms", receptor.Name)
@@ -51,6 +66,11 @@ func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
 		nl:        dock.NewNeighborList(receptor, cutoff),
 		rotFactor: 1 + wRot*float64(lig.NumTorsions()),
 	}
+	// Dense index of receptor atom types so the inner loop can pick a
+	// table with one slice lookup. Hydrogens are invisible to the Vina
+	// function, so they get index -1 and no tables.
+	var recTypeList []chem.AtomType
+	recTypeIdx := make(map[chem.AtomType]int32)
 	for i, a := range receptor.Atoms {
 		t := a.Type
 		if t == "" {
@@ -60,6 +80,17 @@ func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
 			return nil, fmt.Errorf("vina: receptor %q atom %d type %s unsupported", receptor.Name, i, t)
 		}
 		s.recTypes = append(s.recTypes, t.Params())
+		if t == chem.TypeH || t == chem.TypeHD {
+			s.recTblIdx = append(s.recTblIdx, -1)
+			continue
+		}
+		ti, ok := recTypeIdx[t]
+		if !ok {
+			ti = int32(len(recTypeList))
+			recTypeIdx[t] = ti
+			recTypeList = append(recTypeList, t)
+		}
+		s.recTblIdx = append(s.recTblIdx, ti)
 	}
 	for i, a := range lig.Mol.Atoms {
 		t := a.Type
@@ -68,8 +99,25 @@ func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
 		}
 		s.ligTypes = append(s.ligTypes, t.Params())
 		s.ligIsH = append(s.ligIsH, !a.Element.IsHeavy())
+		var row []*tables.Radial
+		if a.Element.IsHeavy() {
+			row = make([]*tables.Radial, len(recTypeList))
+			for ti, rt := range recTypeList {
+				row[ti] = tables.Vina(t, rt)
+			}
+		}
+		s.interTbl = append(s.interTbl, row)
 	}
-	s.intraPairs = intraPairs14(lig.Mol)
+	for _, pr := range intraPairs14(lig.Mol) {
+		i, j := pr[0], pr[1]
+		if s.ligIsH[i] || s.ligIsH[j] {
+			continue
+		}
+		s.intraTbl = append(s.intraTbl, intraPair{
+			i: int32(i), j: int32(j),
+			tbl: tables.Vina(lig.Mol.Atoms[i].Type, lig.Mol.Atoms[j].Type),
+		})
+	}
 	// Vina reports affinities relative to the internal energy of the
 	// unbound conformation, so a ligand floating free scores ~0.
 	s.intraRef = s.intraEnergy(lig.Reference())
@@ -115,27 +163,71 @@ func intraPairs14(m *chem.Molecule) [][2]int {
 // inter-molecular terms divided by the rotatable-bond factor plus a
 // damped internal term. Hydrogens are invisible to the Vina function.
 func (s *Scorer) Score(coords []chem.Vec3) float64 {
-	var inter float64
-	for i, p := range coords {
-		if s.ligIsH[i] {
-			continue
-		}
-		lt := s.ligTypes[i]
-		s.nl.ForNeighbors(p, func(j int, r float64) {
-			rt := s.recTypes[j]
-			if rt.Type == chem.TypeH || rt.Type == chem.TypeHD {
-				return
-			}
-			inter += pairTerm(lt, rt, r)
-		})
-	}
-	return inter/s.rotFactor + intraWeight*(s.intraEnergy(coords)-s.intraRef)
+	return s.interEnergy(coords)/s.rotFactor + intraWeight*(s.intraEnergy(coords)-s.intraRef)
 }
 
 // ReportedFEB is the affinity Vina prints for a pose: the
 // inter-molecular energy under the rotatable-bond compression, without
 // the internal-energy delta used only to steer the optimizer.
 func (s *Scorer) ReportedFEB(coords []chem.Vec3) float64 {
+	return s.interEnergy(coords) / s.rotFactor
+}
+
+// interEnergy sums the pairwise ligand–receptor terms over the
+// neighbour list, shared by Score and ReportedFEB. It iterates the
+// CSR spans directly so the per-receptor-atom loop body is call-free:
+// one squared distance, one table-index check, one interpolated read.
+func (s *Scorer) interEnergy(coords []chem.Vec3) float64 {
+	const cut2 = cutoff * cutoff
+	idx := s.nl.Indices()
+	pos := s.nl.Positions()
+	var spans [27][2]int32
+	var inter float64
+	for i, p := range coords {
+		if s.ligIsH[i] {
+			continue
+		}
+		row := s.interTbl[i]
+		ns := s.nl.Spans(p, &spans)
+		for k := 0; k < ns; k++ {
+			for _, aj := range idx[spans[k][0]:spans[k][1]] {
+				r2 := pos[aj].Dist2(p)
+				if r2 > cut2 {
+					continue
+				}
+				if t := s.recTblIdx[aj]; t >= 0 {
+					inter += row[t].At2(r2)
+				}
+			}
+		}
+	}
+	return inter
+}
+
+func (s *Scorer) intraEnergy(coords []chem.Vec3) float64 {
+	const cut2 = cutoff * cutoff
+	var intra float64
+	for _, pr := range s.intraTbl {
+		if r2 := coords[pr.i].Dist2(coords[pr.j]); r2 <= cut2 {
+			intra += pr.tbl.At2(r2)
+		}
+	}
+	return intra
+}
+
+// ScoreAnalytic is Score evaluated from the closed-form pair potential
+// (sqrt + exp per pair) instead of the radial tables: the golden
+// reference for the table equivalence tests and the baseline the
+// kernel benchmarks report speedups over. It shares intraRef with the
+// table path — the reference offset cancels in the internal-energy
+// delta, so any table-vs-analytic difference comes from the pair sums
+// alone.
+func (s *Scorer) ScoreAnalytic(coords []chem.Vec3) float64 {
+	return s.interEnergyAnalytic(coords)/s.rotFactor +
+		intraWeight*(s.intraEnergyAnalytic(coords)-s.intraRef)
+}
+
+func (s *Scorer) interEnergyAnalytic(coords []chem.Vec3) float64 {
 	var inter float64
 	for i, p := range coords {
 		if s.ligIsH[i] {
@@ -150,66 +242,23 @@ func (s *Scorer) ReportedFEB(coords []chem.Vec3) float64 {
 			inter += pairTerm(lt, rt, r)
 		})
 	}
-	return inter / s.rotFactor
+	return inter
 }
 
-func (s *Scorer) intraEnergy(coords []chem.Vec3) float64 {
+func (s *Scorer) intraEnergyAnalytic(coords []chem.Vec3) float64 {
 	var intra float64
-	for _, pr := range s.intraPairs {
-		i, j := pr[0], pr[1]
-		if s.ligIsH[i] || s.ligIsH[j] {
-			continue
-		}
-		r := coords[i].Dist(coords[j])
+	for _, pr := range s.intraTbl {
+		r := coords[pr.i].Dist(coords[pr.j])
 		if r <= cutoff {
-			intra += pairTerm(s.ligTypes[i], s.ligTypes[j], r)
+			intra += pairTerm(s.ligTypes[pr.i], s.ligTypes[pr.j], r)
 		}
 	}
 	return intra
 }
 
 // pairTerm is the Vina pairwise function on the surface distance
-// d = r − R_i − R_j.
+// d = r − R_i − R_j; the analytic form lives in internal/dock/tables
+// (the single source both this package and the table builder share).
 func pairTerm(a, b chem.TypeParams, r float64) float64 {
-	d := r - (a.Rii/2 + b.Rii/2)
-	e := wGauss1 * gauss(d, 0, 0.5)
-	e += wGauss2 * gauss(d, 3.0, 2.0)
-	if d < 0 {
-		e += wRepulsion * d * d
-	}
-	if a.Hydroph && b.Hydroph {
-		e += wHydrophob * ramp(d, 0.5, 1.5)
-	}
-	if hbondPair(a, b) {
-		e += wHBond * ramp(d, -0.7, 0)
-	}
-	return e
-}
-
-func gauss(d, off, width float64) float64 {
-	x := (d - off) / width
-	return math.Exp(-x * x)
-}
-
-// ramp is 1 below lo, 0 above hi, linear between.
-func ramp(d, lo, hi float64) float64 {
-	if d <= lo {
-		return 1
-	}
-	if d >= hi {
-		return 0
-	}
-	return (hi - d) / (hi - lo)
-}
-
-// hbondPair reports whether the types form a donor/acceptor pair.
-// Vina's heavy-atom convention: a donor is a heavy atom that carries a
-// polar hydrogen; our preparation marks N (with H) and S as donors via
-// the type table, so we treat N/OA/SA acceptors vs N donors.
-func hbondPair(a, b chem.TypeParams) bool {
-	donor := func(p chem.TypeParams) bool {
-		return p.Type == chem.TypeN || p.Type == chem.TypeS // H-bearing by typing rules
-	}
-	acceptor := func(p chem.TypeParams) bool { return p.HBond >= 2 }
-	return (donor(a) && acceptor(b)) || (donor(b) && acceptor(a))
+	return tables.VinaPair(a, b, r)
 }

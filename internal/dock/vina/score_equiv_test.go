@@ -1,0 +1,110 @@
+package vina
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/dock"
+)
+
+// randomPoses returns a deterministic spread of poses around the
+// pocket: translations within a few Å, random orientations and
+// torsions, including some that jam the ligand into the receptor so
+// the steep repulsive region is exercised too.
+func randomPoses(lig *dock.Ligand, n int, seed int64) []dock.Pose {
+	r := rand.New(rand.NewSource(seed))
+	poses := make([]dock.Pose, n)
+	for i := range poses {
+		q := chem.Quat{W: r.NormFloat64(), X: r.NormFloat64(), Y: r.NormFloat64(), Z: r.NormFloat64()}
+		q = q.Normalize()
+		tors := make([]float64, lig.NumTorsions())
+		for t := range tors {
+			tors[t] = (r.Float64() - 0.5) * 2 * math.Pi
+		}
+		poses[i] = dock.Pose{
+			Translation: chem.V(r.Float64()*16-8, r.Float64()*16-8, r.Float64()*16-8),
+			Orientation: q,
+			Torsions:    tors,
+		}
+	}
+	return poses
+}
+
+// TestScoreMatchesAnalytic pins the table-backed scoring path against
+// the closed-form reference over randomized poses. The per-pair
+// interpolation error is ≤ 1e-3 kcal/mol across the scored range
+// (see internal/dock/tables), so the pose-level tolerance is that
+// bound times a generous pair-count allowance plus a small relative
+// term for clashing poses whose energies are dominated by the clamped
+// repulsive core.
+func TestScoreMatchesAnalytic(t *testing.T) {
+	rec, lig := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(rec, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pose := range randomPoses(lig, 50, 7) {
+		coords := lig.Coords(pose)
+		got := s.Score(coords)
+		want := s.ScoreAnalytic(coords)
+		tol := 0.05 + 1e-3*math.Abs(want)
+		if math.Abs(got-want) > tol {
+			t.Errorf("pose at %v: table %v analytic %v |Δ|=%g > %g",
+				pose.Translation, got, want, math.Abs(got-want), tol)
+		}
+	}
+}
+
+// TestReportedFEBSharesInterEnergy checks the Score/ReportedFEB dedupe:
+// for any pose the two must agree on the intermolecular part exactly
+// (same code path), differing only by the internal-energy delta.
+func TestReportedFEBSharesInterEnergy(t *testing.T) {
+	rec, lig := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(rec, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pose := range randomPoses(lig, 10, 11) {
+		coords := lig.Coords(pose)
+		feb := s.ReportedFEB(coords)
+		score := s.Score(coords)
+		wantDelta := intraWeight * (s.intraEnergy(coords) - s.intraRef)
+		if math.Abs((score-feb)-wantDelta) > 1e-12 {
+			t.Fatalf("score %v − feb %v ≠ intra delta %v", score, feb, wantDelta)
+		}
+	}
+}
+
+func benchCoords(b *testing.B, n int) (*Scorer, [][]chem.Vec3) {
+	rec, lig := setupPair(b, "2HHN", "0E6")
+	s, err := NewScorer(rec, lig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	poses := randomPoses(lig, n, 3)
+	coords := make([][]chem.Vec3, n)
+	for i, p := range poses {
+		coords[i] = lig.Coords(p)
+	}
+	return s, coords
+}
+
+func BenchmarkScoreTable(b *testing.B) {
+	s, coords := benchCoords(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(coords[i%len(coords)])
+	}
+}
+
+func BenchmarkScoreAnalytic(b *testing.B) {
+	s, coords := benchCoords(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreAnalytic(coords[i%len(coords)])
+	}
+}

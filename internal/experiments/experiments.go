@@ -516,9 +516,11 @@ func (s *Suite) ByName(name string) (string, error) {
 		return s.Figure10()
 	case "f11":
 		return s.Figure11()
+	case "kernels":
+		return s.KernelsText()
 	case "all":
 		return s.All()
 	default:
-		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, all)", name)
+		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, all)", name)
 	}
 }

@@ -62,6 +62,49 @@ func TestSweepMemoized(t *testing.T) {
 	}
 }
 
+func TestKernelsQuick(t *testing.T) {
+	s := &Suite{Quick: true}
+	rep, err := s.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"grid_generate_reference", "grid_generate_tables_1w", "grid_generate_tables_allcores",
+		"vina_score_analytic", "vina_score_tables",
+		"ad4_score_analytic", "ad4_score_tables",
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
+	}
+	for i, b := range rep.Benchmarks {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, b.Name, want[i])
+		}
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", b.Name, b.NsPerOp)
+		}
+		table := strings.Contains(b.Name, "tables")
+		if table && b.Speedup <= 0 {
+			t.Errorf("%s: missing speedup", b.Name)
+		}
+		if !table && b.Speedup != 0 {
+			t.Errorf("%s: baseline has speedup %v", b.Name, b.Speedup)
+		}
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ns_per_op", "allocs_per_op", "speedup_vs_analytic", "gomaxprocs"} {
+		if !strings.Contains(string(js), key) {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+	if out, err := s.ByName("kernels"); err != nil || !strings.Contains(out, "KERNEL BENCHMARKS") {
+		t.Errorf("ByName(kernels) = %q, %v", out, err)
+	}
+}
+
 func TestTable3IncludesConsensus(t *testing.T) {
 	s := &Suite{Quick: true}
 	out, err := s.Table3()

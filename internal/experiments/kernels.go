@@ -1,0 +1,246 @@
+// Kernel microbenchmarks: machine-readable timings of the docking hot
+// loops (AutoGrid map generation, Vina and AD4 scoring), each measured
+// on its production table-backed path and on the analytic reference
+// path it replaced. cmd/dockbench serializes the report to
+// BENCH_kernels.json so perf regressions are diffable across commits.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/chem"
+	"repro/internal/data"
+	"repro/internal/dock"
+	"repro/internal/dock/ad4"
+	"repro/internal/dock/vina"
+	"repro/internal/grid"
+	"repro/internal/prep"
+)
+
+// KernelBench is one measured kernel configuration.
+type KernelBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Speedup is NsPerOp of the matching analytic baseline divided by
+	// this entry's NsPerOp; only set on table-backed entries.
+	Speedup float64 `json:"speedup_vs_analytic,omitempty"`
+}
+
+// KernelReport is the full kernel benchmark result set.
+type KernelReport struct {
+	Workload   string        `json:"workload"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Benchmarks []KernelBench `json:"benchmarks"`
+}
+
+// JSON renders the report for BENCH_kernels.json.
+func (r *KernelReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the human-readable table dockbench prints.
+func (r *KernelReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("KERNEL BENCHMARKS (radial tables vs analytic)\n")
+	fmt.Fprintf(&sb, "workload: %s, GOMAXPROCS=%d\n", r.Workload, r.GoMaxProcs)
+	fmt.Fprintf(&sb, "%-28s %14s %12s %10s\n", "kernel", "ns/op", "allocs/op", "speedup")
+	for _, b := range r.Benchmarks {
+		sp := ""
+		if b.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", b.Speedup)
+		}
+		fmt.Fprintf(&sb, "%-28s %14.0f %12.1f %10s\n", b.Name, b.NsPerOp, b.AllocsPerOp, sp)
+	}
+	return sb.String()
+}
+
+// measure times fn over several batches of iters runs, reporting the
+// fastest batch's mean ns/op (the minimum of batch means discards
+// scheduler and frequency noise, which only ever slows a batch down)
+// and the mean heap allocations per op (mallocs counted via
+// runtime.MemStats, the same counter testing's AllocsPerRun reads).
+func measure(iters int, fn func()) (nsPerOp, allocsPerOp float64) {
+	const batches = 4
+	fn() // warm up: build tables, fault in pages
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	best := math.Inf(1)
+	for b := 0; b < batches; b++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); ns < best {
+			best = ns
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return best, float64(after.Mallocs-before.Mallocs) / float64(batches*iters)
+}
+
+// kernelPoses builds a deterministic spread of ligand conformations
+// for the scoring benchmarks (seeded; no global rand, matching the
+// determinism rules of the docking packages).
+func kernelPoses(lig *dock.Ligand, n int, seed int64) [][]chem.Vec3 {
+	r := rand.New(rand.NewSource(seed))
+	coords := make([][]chem.Vec3, n)
+	for i := range coords {
+		tors := make([]float64, lig.NumTorsions())
+		for t := range tors {
+			tors[t] = (r.Float64() - 0.5) * 2 * math.Pi
+		}
+		pose := dock.Pose{
+			Translation: chem.V(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5),
+			Orientation: chem.RandomQuat(r.Float64(), r.Float64(), r.Float64()),
+			Torsions:    tors,
+		}
+		coords[i] = lig.Coords(pose)
+	}
+	return coords
+}
+
+// Kernels measures every docking kernel on the standard workload
+// (receptor 2HHN vs ligand 0E6) and returns the report. Quick mode
+// shrinks the lattice and iteration counts for smoke runs.
+func (s *Suite) Kernels() (*KernelReport, error) {
+	rec, _ := data.GenerateReceptor("2HHN")
+	prec, err := prep.PrepareReceptor(rec)
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := data.GenerateLigand("0E6")
+	mol2, err := prep.ConvertSDFToMol2(raw)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := prep.PrepareLigand(mol2)
+	if err != nil {
+		return nil, err
+	}
+	lig, err := dock.NewLigand(pl.Mol, pl.Tree)
+	if err != nil {
+		return nil, err
+	}
+
+	npts, gridIters, scoreIters := 24, 8, 20000
+	if s.Quick {
+		npts, gridIters, scoreIters = 12, 2, 500
+	}
+	spec := grid.Spec{Center: chem.Vec3{}, NPts: [3]int{npts, npts, npts}, Spacing: 1.0}
+	probeTypes := []chem.AtomType{chem.TypeC, chem.TypeN, chem.TypeOA, chem.TypeHD}
+
+	rep := &KernelReport{
+		Workload: fmt.Sprintf("receptor 2HHN (%d atoms), ligand 0E6, %d³ grid @ %.2f Å",
+			prec.NumAtoms(), npts, spec.Spacing),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, baselineNs float64, iters int, fn func() error) (float64, error) {
+		var innerErr error
+		ns, allocs := measure(iters, func() {
+			if err := fn(); err != nil {
+				innerErr = err
+			}
+		})
+		if innerErr != nil {
+			return 0, fmt.Errorf("experiments: kernel %s: %w", name, innerErr)
+		}
+		b := KernelBench{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+		if baselineNs > 0 {
+			b.Speedup = baselineNs / ns
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		return ns, nil
+	}
+
+	// AutoGrid map generation: analytic reference, table-backed serial,
+	// table-backed with the full worker pool.
+	refNs, err := add("grid_generate_reference", 0, gridIters, func() error {
+		_, err := grid.GenerateReference(prec, spec, probeTypes)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := add("grid_generate_tables_1w", refNs, gridIters, func() error {
+		_, err := grid.GenerateWorkers(prec, spec, probeTypes, 1)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := add("grid_generate_tables_allcores", refNs, gridIters, func() error {
+		_, err := grid.GenerateWorkers(prec, spec, probeTypes, 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Vina scoring.
+	vs, err := vina.NewScorer(prec, lig)
+	if err != nil {
+		return nil, err
+	}
+	poses := kernelPoses(lig, 16, 3)
+	i := 0
+	vinaRefNs, err := add("vina_score_analytic", 0, scoreIters, func() error {
+		vs.ScoreAnalytic(poses[i%len(poses)])
+		i++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	if _, err := add("vina_score_tables", vinaRefNs, scoreIters, func() error {
+		vs.Score(poses[i%len(poses)])
+		i++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// AD4 scoring (grid maps + table-backed intramolecular term).
+	maps, err := grid.Generate(prec, spec, pl.Mol.AtomTypes())
+	if err != nil {
+		return nil, err
+	}
+	as, err := ad4.NewScorer(maps, lig)
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	ad4RefNs, err := add("ad4_score_analytic", 0, scoreIters, func() error {
+		as.ScoreAnalytic(poses[i%len(poses)])
+		i++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i = 0
+	if _, err := add("ad4_score_tables", ad4RefNs, scoreIters, func() error {
+		as.Score(poses[i%len(poses)])
+		i++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// KernelsText is the ByName-facing wrapper returning the formatted
+// table.
+func (s *Suite) KernelsText() (string, error) {
+	rep, err := s.Kernels()
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}

@@ -3,13 +3,26 @@
 // type plus electrostatic and desolvation maps on a regular lattice,
 // and serves trilinearly interpolated lookups to the AutoDock 4
 // docking engine.
+//
+// Map generation is the workflow's first hot path: every lattice point
+// visits every receptor atom within the cutoff. The production path
+// (Generate) therefore reads all pair potentials from the radial
+// r²-indexed tables of internal/dock/tables — no sqrt, exp, or pow in
+// the inner loop — and fans the z-slab loop out over a bounded worker
+// pool. The decomposition is fixed by the Spec (one task per z slab,
+// every point written exactly once), so output is bit-identical
+// regardless of worker count. GenerateReference keeps the serial
+// analytic path as the golden reference for equivalence tests and the
+// kernel benchmarks.
 package grid
 
 import (
 	"fmt"
-	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/chem"
+	"repro/internal/dock/tables"
 )
 
 // Spec describes the lattice: centre, points per axis and spacing, the
@@ -54,13 +67,11 @@ const OutOfBoxPenalty = 1e4
 const energyClamp = 1e5
 
 // interactionCutoff is the non-bonded cutoff in Å (AutoGrid uses 8 Å).
-const interactionCutoff = 8.0
+const interactionCutoff = tables.Cutoff
 
 // smoothRadius is AutoGrid's default potential smoothing (the GPF
-// "smooth 0.5" keyword): the pairwise potential at r is replaced by
-// its minimum over |r'-r| ≤ smooth/2, flattening the well bottom so
-// small coordinate errors in crystal structures are not punished.
-const smoothRadius = 0.5
+// "smooth 0.5" keyword); see tables.SmoothRadius.
+const smoothRadius = tables.SmoothRadius
 
 // Maps holds every precomputed map for one receptor.
 type Maps struct {
@@ -81,30 +92,27 @@ func (m *Maps) Types() []chem.AtomType {
 	return out
 }
 
-// Generate runs AutoGrid: for every lattice point, accumulate the
-// pairwise receptor interaction for each requested probe type, plus
-// electrostatic and desolvation terms. Receptor atoms are binned into
-// cells so each point only visits atoms within the cutoff.
-func Generate(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps, error) {
+// newMaps validates the inputs and allocates the map storage, returning
+// the deduplicated probe list in first-seen order (deterministic, so
+// slab workers and the reference path agree on slice identity).
+func newMaps(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps, []chem.AtomType, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if receptor.NumAtoms() == 0 {
-		return nil, fmt.Errorf("grid: receptor %q has no atoms", receptor.Name)
+		return nil, nil, fmt.Errorf("grid: receptor %q has no atoms", receptor.Name)
 	}
 	for _, t := range types {
 		if !t.Params().Supported {
-			return nil, fmt.Errorf("grid: probe type %s has no parameters", t)
+			return nil, nil, fmt.Errorf("grid: probe type %s has no parameters", t)
 		}
 	}
 	for i, a := range receptor.Atoms {
 		if !a.Element.Info().DockSupported {
-			return nil, fmt.Errorf("grid: receptor %q atom %d (%s) unsupported",
+			return nil, nil, fmt.Errorf("grid: receptor %q atom %d (%s) unsupported",
 				receptor.Name, i, a.Element)
 		}
 	}
-
-	cells := buildCellList(receptor, interactionCutoff)
 	n := spec.NumPoints()
 	m := &Maps{
 		Spec:     spec,
@@ -113,61 +121,171 @@ func Generate(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps,
 		elec:     make([]float64, n),
 		desolv:   make([]float64, n),
 	}
+	var probes []chem.AtomType
 	for _, t := range types {
 		if _, dup := m.affinity[t]; dup {
 			continue
 		}
 		m.affinity[t] = make([]float64, n)
+		probes = append(probes, t)
 	}
-	probes := make([]chem.TypeParams, 0, len(m.affinity))
-	probeSlices := make([][]float64, 0, len(m.affinity))
-	for t, sl := range m.affinity {
-		probes = append(probes, t.Params())
-		probeSlices = append(probeSlices, sl)
-	}
+	return m, probes, nil
+}
 
-	origin := spec.Origin()
-	idx := 0
-	for k := 0; k < spec.NPts[2]; k++ {
-		for j := 0; j < spec.NPts[1]; j++ {
-			for i := 0; i < spec.NPts[0]; i++ {
-				p := origin.Add(chem.V(
-					float64(i)*spec.Spacing,
-					float64(j)*spec.Spacing,
-					float64(k)*spec.Spacing,
-				))
-				var elec, desolv float64
-				affin := make([]float64, len(probes))
-				cells.forNeighbors(p, func(ai int) {
-					a := &receptor.Atoms[ai]
-					r2 := a.Pos.Dist2(p)
-					if r2 > interactionCutoff*interactionCutoff {
-						return
-					}
-					r := math.Sqrt(r2)
-					if r < 0.5 {
-						r = 0.5 // AutoGrid's rmin clamp
-					}
-					elec += electrostaticTerm(a.Charge, r)
-					desolv += desolvationTerm(a, r)
-					at := a.Type
-					if at == "" {
-						at = chem.TypeForElement(a.Element)
-					}
-					ap := at.Params()
-					for pi := range probes {
-						affin[pi] += PairEnergySmoothed(probes[pi], ap, r, smoothRadius)
-					}
-				})
-				m.elec[idx] = clamp(elec)
-				m.desolv[idx] = clamp(desolv)
-				for pi := range probes {
-					probeSlices[pi][idx] = clamp(affin[pi])
-				}
-				idx++
+// receptorAtomType resolves the AD4 type of a receptor atom, falling
+// back to the element default when preparation left it untyped.
+func receptorAtomType(a *chem.Atom) chem.AtomType {
+	if a.Type != "" {
+		return a.Type
+	}
+	return chem.TypeForElement(a.Element)
+}
+
+// generator carries the shared read-only state of one table-backed map
+// generation; slab workers write disjoint index ranges of the maps.
+type generator struct {
+	spec        Spec
+	origin      chem.Vec3
+	cells       *cellList
+	charge      []float64         // per receptor atom
+	dcoef       []float64         // per receptor atom, desolvation prefactor
+	typeIdx     []int32           // per receptor atom, index into pairTbl rows
+	pairTbl     [][]*tables.Radial // [receptor type][probe] smoothed AD4 tables
+	elecTbl     *tables.Radial
+	desolvTbl   *tables.Radial
+	elec        []float64
+	desolv      []float64
+	probeSlices [][]float64
+}
+
+// slab fills every map value of z-plane k. affin is the worker's
+// reusable per-point accumulator, hoisted out of the triple loop; the
+// neighbour walk iterates the CSR spans directly so the per-atom loop
+// body is call-free.
+func (g *generator) slab(k int, affin []float64) {
+	const cut2 = interactionCutoff * interactionCutoff
+	nx, ny := g.spec.NPts[0], g.spec.NPts[1]
+	idx := k * nx * ny
+	z := g.origin.Z + float64(k)*g.spec.Spacing
+	var spans [27][2]int32
+	for j := 0; j < ny; j++ {
+		y := g.origin.Y + float64(j)*g.spec.Spacing
+		for i := 0; i < nx; i++ {
+			p := chem.V(g.origin.X+float64(i)*g.spec.Spacing, y, z)
+			var elec, desolv float64
+			for pi := range affin {
+				affin[pi] = 0
 			}
+			ns := g.cells.spans(p, &spans)
+			for s := 0; s < ns; s++ {
+				for _, ai := range g.cells.idx[spans[s][0]:spans[s][1]] {
+					r2 := g.cells.atoms[ai].Dist2(p)
+					if r2 > cut2 {
+						continue
+					}
+					elec += g.charge[ai] * g.elecTbl.At2(r2)
+					desolv += g.dcoef[ai] * g.desolvTbl.At2(r2)
+					for pi, tbl := range g.pairTbl[g.typeIdx[ai]] {
+						affin[pi] += tbl.At2(r2)
+					}
+				}
+			}
+			g.elec[idx] = clamp(elec)
+			g.desolv[idx] = clamp(desolv)
+			for pi := range affin {
+				g.probeSlices[pi][idx] = clamp(affin[pi])
+			}
+			idx++
 		}
 	}
+}
+
+// Generate runs AutoGrid: for every lattice point, accumulate the
+// pairwise receptor interaction for each requested probe type, plus
+// electrostatic and desolvation terms, using the precomputed radial
+// tables and all available cores.
+func Generate(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps, error) {
+	return GenerateWorkers(receptor, spec, types, 0)
+}
+
+// GenerateWorkers is Generate with an explicit worker count (≤ 0 means
+// GOMAXPROCS). The z-slab decomposition is determined by the Spec
+// alone and every lattice point is written exactly once, so the output
+// is bit-identical for every worker count.
+func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, workers int) (*Maps, error) {
+	m, probes, err := newMaps(receptor, spec, types)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &generator{
+		spec:      spec,
+		origin:    spec.Origin(),
+		cells:     buildCellList(receptor, interactionCutoff),
+		elecTbl:   tables.Electrostatic(),
+		desolvTbl: tables.Desolvation(),
+		elec:      m.elec,
+		desolv:    m.desolv,
+	}
+	for _, t := range probes {
+		g.probeSlices = append(g.probeSlices, m.affinity[t])
+	}
+
+	// Per-atom coefficients and a dense receptor-type index so the
+	// inner loop is array lookups only.
+	recTypes := make(map[chem.AtomType]int32)
+	g.charge = make([]float64, len(receptor.Atoms))
+	g.dcoef = make([]float64, len(receptor.Atoms))
+	g.typeIdx = make([]int32, len(receptor.Atoms))
+	for i := range receptor.Atoms {
+		a := &receptor.Atoms[i]
+		at := receptorAtomType(a)
+		ti, ok := recTypes[at]
+		if !ok {
+			ti = int32(len(g.pairTbl))
+			recTypes[at] = ti
+			row := make([]*tables.Radial, len(probes))
+			for pi, pt := range probes {
+				row[pi] = tables.AD4Smoothed(pt, at)
+			}
+			g.pairTbl = append(g.pairTbl, row)
+		}
+		g.charge[i] = a.Charge
+		g.dcoef[i] = tables.DesolvCoeff(at.Params(), a.Charge)
+		g.typeIdx[i] = ti
+	}
+
+	nz := spec.NPts[2]
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nz {
+		workers = nz
+	}
+	if workers <= 1 {
+		affin := make([]float64, len(probes))
+		for k := 0; k < nz; k++ {
+			g.slab(k, affin)
+		}
+		return m, nil
+	}
+	slabs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			affin := make([]float64, len(probes))
+			for k := range slabs {
+				g.slab(k, affin)
+			}
+		}()
+	}
+	for k := 0; k < nz; k++ {
+		slabs <- k
+	}
+	close(slabs)
+	wg.Wait()
 	return m, nil
 }
 
@@ -181,97 +299,34 @@ func clamp(e float64) float64 {
 	return e
 }
 
-// PairEnergy is the AD4 pairwise dispersion/repulsion potential
-// between a probe (ligand) type and a receptor type at distance r:
-// a 12-6 Lennard-Jones for ordinary pairs and a directional-averaged
-// 12-10 well for hydrogen-bonding pairs.
+// PairEnergy is the AD4 pairwise dispersion/repulsion potential; the
+// analytic form lives in internal/dock/tables (shared with the
+// scorers), re-exported here for map consumers and tests.
 func PairEnergy(probe, rec chem.TypeParams, r float64) float64 {
-	rij := (probe.Rii + rec.Rii) / 2
-	eps := math.Sqrt(probe.Epsii * rec.Epsii)
-	hbond := (probe.HBond == 1 && rec.HBond >= 2) || (probe.HBond >= 2 && rec.HBond == 1)
-	q := rij / r
-	if hbond {
-		// AD4's 12-10 hydrogen-bond well, ~5× deeper than dispersion:
-		// E = ε_hb (5 (rij/r)^12 − 6 (rij/r)^10).
-		eps *= 5
-		q2 := q * q
-		q10 := q2 * q2 * q2 * q2 * q2
-		return eps * (5*q10*q2 - 6*q10)
-	}
-	// Ordinary 12-6 Lennard-Jones: E = ε ((rij/r)^12 − 2 (rij/r)^6).
-	q6 := q * q * q
-	q6 *= q6
-	return eps * (q6*q6 - 2*q6)
+	return tables.PairEnergy(probe, rec, r)
 }
 
 // PairEnergySmoothed applies AutoGrid's potential smoothing to
-// PairEnergy: the value at r is the minimum of the raw potential over
-// the window |r'-r| ≤ smooth/2. Both potentials used here decrease
-// monotonically to their single minimum at rmin and increase beyond,
-// so the windowed minimum is analytic:
-//
-//	r window contains rmin → E(rmin)
-//	window left of rmin    → E(r + smooth/2)
-//	window right of rmin   → E(r - smooth/2)
+// PairEnergy; see tables.PairEnergySmoothed.
 func PairEnergySmoothed(probe, rec chem.TypeParams, r, smooth float64) float64 {
-	if smooth <= 0 {
-		return PairEnergy(probe, rec, r)
-	}
-	half := smooth / 2
-	rij := (probe.Rii + rec.Rii) / 2
-	// The 12-6 minimum sits at rij; the 12-10 at rij as well (both
-	// are parameterized so the well bottom is at the radius sum).
-	switch {
-	case r+half < rij:
-		return PairEnergy(probe, rec, r+half)
-	case r-half > rij:
-		return PairEnergy(probe, rec, r-half)
-	default:
-		return PairEnergy(probe, rec, rij)
-	}
+	return tables.PairEnergySmoothed(probe, rec, r, smooth)
 }
 
 // electrostaticTerm is the Coulomb interaction of a unit probe charge
-// with receptor charge q at distance r, using the sigmoidal
-// distance-dependent dielectric of Mehler & Solmajer that AutoGrid
-// applies (approximated by ε(r) = 4r for r > 1).
+// with receptor charge q at distance r under the Mehler–Solmajer
+// distance-dependent dielectric (the analytic reference path).
 func electrostaticTerm(q, r float64) float64 {
-	const coulomb = 332.06 // kcal·Å/(mol·e²)
-	eps := dielectric(r)
-	return coulomb * q / (eps * r)
+	return q * tables.ElecScale(r)
 }
 
 // dielectric is the sigmoidal distance-dependent dielectric of
-// Mehler & Solmajer (1991), the function AutoGrid applies:
-//
-//	ε(r) = A + B / (1 + k·exp(−λBr))
-//
-// with A = −8.5525, B = ε₀ − A = 86.9525, k = 7.7839 and
-// λ = 0.003627. ε rises from ~1 at contact toward bulk water's ~78.
+// Mehler & Solmajer (1991); see tables.Dielectric.
 func dielectric(r float64) float64 {
-	const (
-		a      = -8.5525
-		bCoef  = 78.4 - a
-		k      = 7.7839
-		lambda = 0.003627
-	)
-	e := a + bCoef/(1+k*math.Exp(-lambda*bCoef*r))
-	if e < 1 {
-		e = 1
-	}
-	return e
+	return tables.Dielectric(r)
 }
 
 // desolvationTerm is the gaussian-weighted atomic desolvation term of
-// the AD4 force field.
+// the AD4 force field (the analytic reference path).
 func desolvationTerm(a *chem.Atom, r float64) float64 {
-	const sigma = 3.6
-	at := a.Type
-	if at == "" {
-		at = chem.TypeForElement(a.Element)
-	}
-	p := at.Params()
-	w := math.Exp(-r * r / (2 * sigma * sigma))
-	// Volume × solvation parameter, plus a charge-dependent component.
-	return (p.SolPar*p.SolVol + 0.01097*math.Abs(a.Charge)*p.SolVol) * w * 0.1
+	return tables.DesolvCoeff(receptorAtomType(a).Params(), a.Charge) * tables.DesolvWeight(r)
 }

@@ -287,13 +287,158 @@ func TestCellListCoversAllAtoms(t *testing.T) {
 	}
 }
 
+// The table-backed Generate must agree with the serial analytic
+// reference at every lattice node within the table error bound.
+func TestGenerateMatchesReference(t *testing.T) {
+	rec := preparedReceptor(t, "2HHN")
+	spec := smallSpec(rec)
+	types := []chem.AtomType{chem.TypeC, chem.TypeOA, chem.TypeHD, chem.TypeN}
+	fast, err := Generate(rec, spec, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := GenerateReference(rec, spec, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := func(want float64) float64 { return 1e-3 + 2e-4*math.Abs(want) }
+	compare := func(name string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > tol(want[i]) {
+				t.Fatalf("%s[%d]: table %v vs analytic %v (|Δ|=%v)", name, i, got[i], want[i], d)
+			}
+		}
+	}
+	compare("elec", fast.elec, ref.elec)
+	compare("desolv", fast.desolv, ref.desolv)
+	for _, ty := range types {
+		compare(string(ty), fast.affinity[ty], ref.affinity[ty])
+	}
+}
+
+// The z-slab decomposition is Spec-deterministic: the written map
+// files must be byte-identical for every worker count.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	rec := preparedReceptor(t, "1HUC")
+	spec := smallSpec(rec)
+	types := []chem.AtomType{chem.TypeC, chem.TypeOA}
+	mapBytes := func(m *Maps) []byte {
+		var buf bytes.Buffer
+		for _, name := range []string{"C", "OA", "e", "d"} {
+			if err := m.WriteMap(&buf, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	base, err := GenerateWorkers(rec, spec, types, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mapBytes(base)
+	for _, workers := range []int{2, 3, 8, 64} {
+		m, err := GenerateWorkers(rec, spec, types, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mapBytes(m), want) {
+			t.Fatalf("map files differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+// The cutoff-expanded bounding-box guard must not lose neighbours for
+// points just outside each box face, and must early-out just beyond
+// the expanded box.
+func TestCellListBoundaryFaces(t *testing.T) {
+	rec := preparedReceptor(t, "1CSB")
+	cl := buildCellList(rec, 8)
+	min, max := chem.BoundingBox(rec.Positions())
+	mid := min.Lerp(max, 0.5)
+	const eps = 1e-6
+	probes := []struct {
+		name    string
+		p       chem.Vec3
+		outside bool // beyond the cutoff-expanded box: zero visits
+	}{
+		{"x-lo-in", chem.V(min.X-8+eps, mid.Y, mid.Z), false},
+		{"x-hi-in", chem.V(max.X+8-eps, mid.Y, mid.Z), false},
+		{"y-lo-in", chem.V(mid.X, min.Y-8+eps, mid.Z), false},
+		{"y-hi-in", chem.V(mid.X, max.Y+8-eps, mid.Z), false},
+		{"z-lo-in", chem.V(mid.X, mid.Y, min.Z-8+eps), false},
+		{"z-hi-in", chem.V(mid.X, mid.Y, max.Z+8-eps), false},
+		{"x-lo-out", chem.V(min.X-8-eps, mid.Y, mid.Z), true},
+		{"x-hi-out", chem.V(max.X+8+eps, mid.Y, mid.Z), true},
+		{"y-lo-out", chem.V(mid.X, min.Y-8-eps, mid.Z), true},
+		{"y-hi-out", chem.V(mid.X, max.Y+8+eps, mid.Z), true},
+		{"z-lo-out", chem.V(mid.X, mid.Y, min.Z-8-eps), true},
+		{"z-hi-out", chem.V(mid.X, mid.Y, max.Z+8+eps), true},
+	}
+	for _, tc := range probes {
+		visited := 0
+		cl.forNeighbors(tc.p, func(int) { visited++ })
+		if tc.outside && visited != 0 {
+			t.Errorf("%s: visited %d atoms beyond the expanded box", tc.name, visited)
+		}
+		// Cross-check against brute force within the cutoff.
+		brute := 0
+		for _, a := range rec.Atoms {
+			if a.Pos.Dist(tc.p) <= 8 {
+				brute++
+			}
+		}
+		inCutoff := 0
+		cl.forNeighbors(tc.p, func(j int) {
+			if rec.Atoms[j].Pos.Dist(tc.p) <= 8 {
+				inCutoff++
+			}
+		})
+		if inCutoff != brute {
+			t.Errorf("%s: cell list found %d atoms within cutoff, brute force %d", tc.name, inCutoff, brute)
+		}
+	}
+}
+
+func benchSpec(rec *chem.Molecule) (Spec, []chem.AtomType) {
+	return Spec{Center: rec.Centroid(), NPts: [3]int{24, 24, 24}, Spacing: 1.0},
+		[]chem.AtomType{chem.TypeC, chem.TypeN, chem.TypeOA, chem.TypeHD}
+}
+
 func BenchmarkGenerateMaps(b *testing.B) {
 	rec := preparedReceptor(b, "2HHN")
-	spec := Spec{Center: rec.Centroid(), NPts: [3]int{24, 24, 24}, Spacing: 1.0}
-	types := []chem.AtomType{chem.TypeC, chem.TypeN, chem.TypeOA, chem.TypeHD}
+	spec, types := benchSpec(rec)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Generate(rec, spec, types); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateMapsSerial(b *testing.B) {
+	rec := preparedReceptor(b, "2HHN")
+	spec, types := benchSpec(rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWorkers(rec, spec, types, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateMapsReference(b *testing.B) {
+	rec := preparedReceptor(b, "2HHN")
+	spec, types := benchSpec(rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateReference(rec, spec, types); err != nil {
 			b.Fatal(err)
 		}
 	}

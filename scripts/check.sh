@@ -19,4 +19,9 @@ go run ./cmd/scilint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> kernel benchmark smoke (-benchtime=1x)"
+go test -run '^$' -bench . -benchtime=1x \
+	./internal/grid ./internal/dock \
+	./internal/dock/tables ./internal/dock/vina ./internal/dock/ad4
+
 echo "check: all gates passed"
