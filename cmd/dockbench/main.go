@@ -8,6 +8,9 @@
 //	dockbench -exp t3 -quick    # reduced workload (seconds)
 //	dockbench -exp kernels      # docking kernel microbenchmarks,
 //	                            # also written to -benchout as JSON
+//	dockbench -exp search       # conformational-search benchmarks
+//	                            # (workspace + parallel chains), also
+//	                            # written to -benchout as JSON
 package main
 
 import (
@@ -18,31 +21,51 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonReport is the common surface of the benchmark experiments that
+// emit a machine-readable artifact next to their printed table.
+type jsonReport interface {
+	String() string
+	JSON() ([]byte, error)
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels or all")
+		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search or all")
 		quick    = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
-		benchout = flag.String("benchout", "BENCH_kernels.json", "JSON output path for -exp kernels (empty to skip)")
+		benchout = flag.String("benchout", "auto",
+			"JSON output path for -exp kernels/search; \"auto\" picks BENCH_<exp>.json, empty skips")
 	)
 	flag.Parse()
 	s := &experiments.Suite{Quick: *quick}
-	if *exp == "kernels" {
-		rep, err := s.Kernels()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dockbench:", err)
-			os.Exit(1)
-		}
+
+	var rep jsonReport
+	var err error
+	switch *exp {
+	case "kernels":
+		rep, err = s.Kernels()
+	case "search":
+		rep, err = s.Search()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dockbench:", err)
+		os.Exit(1)
+	}
+	if rep != nil {
 		fmt.Print(rep.String())
-		if *benchout != "" {
+		out := *benchout
+		if out == "auto" {
+			out = "BENCH_" + *exp + ".json"
+		}
+		if out != "" {
 			js, err := rep.JSON()
 			if err == nil {
-				err = os.WriteFile(*benchout, append(js, '\n'), 0o644)
+				err = os.WriteFile(out, append(js, '\n'), 0o644)
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "dockbench:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("wrote %s\n", *benchout)
+			fmt.Printf("wrote %s\n", out)
 		}
 		return
 	}

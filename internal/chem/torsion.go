@@ -237,10 +237,17 @@ func collectSide(adj [][]int, start, block, n int) []int {
 // rotated by the corresponding angle (radians). Torsions are applied
 // in tree order, so inner rotations carry outer branches with them.
 func (t *TorsionTree) ApplyTorsions(base []Vec3, angles []float64) []Vec3 {
+	return t.ApplyTorsionsInto(nil, base, angles)
+}
+
+// ApplyTorsionsInto is ApplyTorsions writing into dst's storage (grown
+// as needed), so steady-state pose evaluation allocates nothing. dst
+// must not alias base. It returns the filled slice.
+func (t *TorsionTree) ApplyTorsionsInto(dst, base []Vec3, angles []float64) []Vec3 {
 	if len(angles) != len(t.Torsions) {
 		panic(fmt.Sprintf("chem: %d torsion angles for %d torsions", len(angles), len(t.Torsions)))
 	}
-	out := append([]Vec3(nil), base...)
+	out := append(dst[:0], base...)
 	for k, tor := range t.Torsions {
 		if angles[k] == 0 {
 			continue

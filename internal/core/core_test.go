@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chem"
 	"repro/internal/data"
 	"repro/internal/prep"
 	"repro/internal/prov"
@@ -349,5 +350,23 @@ func TestCalibrationMonotone(t *testing.T) {
 	}
 	if calibrateVina(-10) >= calibrateVina(-5) {
 		t.Error("Vina calibration must preserve order")
+	}
+}
+
+func TestTypesKeyCanonical(t *testing.T) {
+	a := typesKey([]chem.AtomType{chem.TypeC, chem.TypeN, chem.TypeOA})
+	b := typesKey([]chem.AtomType{chem.TypeOA, chem.TypeC, chem.TypeN})
+	if a != b {
+		t.Errorf("permuted type lists got different keys: %q vs %q", a, b)
+	}
+	c := typesKey([]chem.AtomType{chem.TypeC, chem.TypeC, chem.TypeN, chem.TypeOA, chem.TypeOA})
+	if c != a {
+		t.Errorf("duplicated type list got different key: %q vs %q", c, a)
+	}
+	if d := typesKey([]chem.AtomType{chem.TypeC, chem.TypeHD}); d == a {
+		t.Error("distinct type sets must not collide")
+	}
+	if typesKey(nil) != "" {
+		t.Errorf("empty list key = %q", typesKey(nil))
 	}
 }

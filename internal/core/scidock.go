@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -304,12 +305,23 @@ func (b *builder) gridMaps(rec string, types []chem.AtomType) (*grid.Maps, error
 	return v.(*grid.Maps), nil
 }
 
+// typesKey canonicalizes an atom-type list into a memo key: sorted and
+// deduplicated, so permuted or repeated ligand type lists share one
+// cached map set (the maps themselves are keyed per type, so order and
+// multiplicity never affect the generated grids).
 func typesKey(ts []chem.AtomType) string {
 	ss := make([]string, len(ts))
 	for i, t := range ts {
 		ss[i] = string(t)
 	}
-	return strings.Join(ss, ",")
+	sort.Strings(ss)
+	uniq := ss[:0]
+	for _, s := range ss {
+		if n := len(uniq); n == 0 || s != uniq[n-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	return strings.Join(uniq, ",")
 }
 
 // runAutoGrid is activity 5: coordinate-map generation.

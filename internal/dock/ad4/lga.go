@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chem"
 	"repro/internal/dock"
+	"repro/internal/parallel"
 	"repro/internal/prep"
 )
 
@@ -18,11 +21,20 @@ const ProgramName = "AutoDock 4.2.5.1"
 type Engine struct {
 	Params prep.DPF
 	Box    dock.Box
+	// Workers bounds the GA-run fan-out: 0 sizes it from the
+	// process-wide CPU token budget (internal/parallel), 1 forces
+	// sequential runs, n > 1 uses exactly n workers. Output is
+	// byte-identical for every value — runs have independent seeds
+	// and land in run order.
+	Workers int
 }
 
 // Dock executes Params.Runs independent LGA runs and collects the
 // per-run best poses, energies and RMSDs (vs the ligand's input
-// frame, AutoDock's DLG convention).
+// frame, AutoDock's DLG convention). Runs are fanned over a bounded
+// worker pool; each run draws from its own seeded RNG
+// (RandomSeed + run·7919) and fills its own slot, so the merged
+// result is identical for any worker count.
 func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
 	if e.Params.Runs <= 0 || e.Params.PopSize <= 1 {
 		return nil, fmt.Errorf("ad4: invalid GA parameters (runs=%d pop=%d)",
@@ -34,15 +46,61 @@ func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
 		Ligand:   lig.Mol.Name,
 		Seed:     e.Params.RandomSeed,
 	}
-	for run := 1; run <= e.Params.Runs; run++ {
+	nRuns := e.Params.Runs
+	runs := make([]dock.RunResult, nRuns)
+	errs := make([]error, nRuns)
+
+	oneRun := func(run int, ws *dock.Workspace) {
 		r := rand.New(rand.NewSource(e.Params.RandomSeed + int64(run)*7919))
-		pose, feb := e.runLGA(r, s, lig)
+		pose, feb := e.runLGA(r, s, lig, ws)
 		rmsd, err := chem.RMSD(lig.Coords(pose), lig.Reference())
 		if err != nil {
-			return nil, fmt.Errorf("ad4: rmsd: %w", err)
+			errs[run-1] = fmt.Errorf("ad4: rmsd: %w", err)
+			return
 		}
-		res.Runs = append(res.Runs, dock.RunResult{Run: run, Pose: pose, FEB: feb, RMSD: rmsd})
+		runs[run-1] = dock.RunResult{Run: run, Pose: pose, FEB: feb, RMSD: rmsd}
 	}
+
+	workers := e.Workers
+	release := func() {}
+	if workers <= 0 {
+		workers, release = parallel.Tokens().Grab(nRuns)
+	}
+	if workers > nRuns {
+		workers = nRuns
+	}
+	if workers <= 1 {
+		ws := dock.NewWorkspace(lig)
+		for run := 1; run <= nRuns; run++ {
+			oneRun(run, ws)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := dock.NewWorkspace(lig)
+				for {
+					run := int(next.Add(1))
+					if run > nRuns {
+						return
+					}
+					oneRun(run, ws)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	release()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Runs = runs
 	return res, nil
 }
 
@@ -54,104 +112,116 @@ type individual struct {
 // runLGA is one Lamarckian GA run: generational GA with tournament
 // selection, uniform pose crossover, Cauchy mutation and Solis-Wets
 // local search whose result is written back into the genome
-// (Lamarckian inheritance).
-func (e *Engine) runLGA(r *rand.Rand, s *Scorer, lig *dock.Ligand) (dock.Pose, float64) {
+// (Lamarckian inheritance). The populations are allocated once per
+// run and every candidate evaluation goes through the workspace, so
+// the generation loop itself allocates nothing.
+func (e *Engine) runLGA(r *rand.Rand, s *Scorer, lig *dock.Ligand, ws *dock.Workspace) (dock.Pose, float64) {
 	nt := lig.NumTorsions()
 	pop := make([]individual, e.Params.PopSize)
+	next := make([]individual, e.Params.PopSize)
+	for i := range pop {
+		pop[i].pose.Torsions = make([]float64, 0, nt)
+		next[i].pose.Torsions = make([]float64, 0, nt)
+	}
 	evals := 0
 	score := func(p dock.Pose) float64 {
 		evals++
-		return s.Score(lig.Coords(p))
+		return s.Score(ws.Coords(p))
 	}
 	for i := range pop {
-		pop[i].pose = dock.RandomPose(r, e.Box, nt)
+		dock.RandomPoseInto(r, &pop[i].pose, e.Box, nt)
 		pop[i].feb = score(pop[i].pose)
 	}
-	best := pop[0]
-	for _, ind := range pop[1:] {
-		if ind.feb < best.feb {
-			best = ind
+	best := individual{pose: dock.Pose{Torsions: make([]float64, 0, nt)}, feb: math.Inf(1)}
+	for i := range pop {
+		if pop[i].feb < best.feb {
+			best.pose.Set(pop[i].pose)
+			best.feb = pop[i].feb
 		}
 	}
 
 	for gen := 0; gen < e.Params.Gens && evals < e.Params.Evals; gen++ {
-		next := make([]individual, 0, len(pop))
 		// Elitism: carry the best genome forward unchanged.
-		next = append(next, best)
-		for len(next) < len(pop) {
+		next[0].pose.Set(best.pose)
+		next[0].feb = best.feb
+		for i := 1; i < len(pop); i++ {
 			a := tournament(r, pop)
 			b := tournament(r, pop)
-			child := a.pose
+			child := &next[i].pose
 			if r.Float64() < e.Params.CrossRate {
-				child = crossover(r, a.pose, b.pose)
+				crossoverInto(r, child, pop[a].pose, pop[b].pose)
+			} else {
+				child.Set(pop[a].pose)
 			}
-			child = mutate(r, child, e.Params.MutRate, e.Box)
-			feb := score(child)
+			mutateInPlace(r, child, e.Params.MutRate, e.Box)
+			feb := score(*child)
 			// Lamarckian local search on a fraction of offspring.
 			if r.Float64() < e.Params.LocalRate {
-				child, feb = e.solisWets(r, s, lig, child, feb, &evals)
+				feb = e.solisWets(r, s, ws, child, feb, &evals)
 			}
-			ind := individual{pose: child, feb: feb}
-			if ind.feb < best.feb {
-				best = ind
+			next[i].feb = feb
+			if feb < best.feb {
+				best.pose.Set(*child)
+				best.feb = feb
 			}
-			next = append(next, ind)
 		}
-		pop = next
+		pop, next = next, pop
 	}
 	// Final local refinement of the champion.
-	pose, feb := e.solisWets(r, s, lig, best.pose, best.feb, new(int))
+	champ := ws.Get()
+	defer ws.Put(champ)
+	champ.Set(best.pose)
+	feb := e.solisWets(r, s, ws, champ, best.feb, new(int))
 	if feb < best.feb {
-		return pose, feb
+		return champ.Clone(), feb
 	}
 	return best.pose, best.feb
 }
 
-func tournament(r *rand.Rand, pop []individual) individual {
-	a := pop[r.Intn(len(pop))]
-	b := pop[r.Intn(len(pop))]
-	if a.feb <= b.feb {
+func tournament(r *rand.Rand, pop []individual) int {
+	a := r.Intn(len(pop))
+	b := r.Intn(len(pop))
+	if pop[a].feb <= pop[b].feb {
 		return a
 	}
 	return b
 }
 
-// crossover mixes two parent poses gene-wise: translation lerp,
-// orientation slerp and per-torsion pick.
-func crossover(r *rand.Rand, a, b dock.Pose) dock.Pose {
+// crossoverInto mixes two parent poses gene-wise into dst: translation
+// lerp, orientation slerp and per-torsion pick. The RNG draw order
+// (mix fraction first, then one draw per torsion) matches the original
+// allocating crossover, so seeded trajectories are unchanged.
+func crossoverInto(r *rand.Rand, dst *dock.Pose, a, b dock.Pose) {
 	t := r.Float64()
-	child := a.Clone()
-	child.Translation = a.Translation.Lerp(b.Translation, t)
-	child.Orientation = a.Orientation.Slerp(b.Orientation, t)
-	for i := range child.Torsions {
+	dst.Set(a)
+	dst.Translation = a.Translation.Lerp(b.Translation, t)
+	dst.Orientation = a.Orientation.Slerp(b.Orientation, t)
+	for i := range dst.Torsions {
 		if r.Float64() < 0.5 {
-			child.Torsions[i] = b.Torsions[i]
+			dst.Torsions[i] = b.Torsions[i]
 		}
 	}
-	return child
 }
 
-// mutate applies Cauchy-distributed gene perturbations at the given
-// per-gene rate, clamping the translation back into the box.
-func mutate(r *rand.Rand, p dock.Pose, rate float64, box dock.Box) dock.Pose {
-	q := p.Clone()
+// mutateInPlace applies Cauchy-distributed gene perturbations at the
+// given per-gene rate, clamping the translation back into the box.
+func mutateInPlace(r *rand.Rand, p *dock.Pose, rate float64, box dock.Box) {
 	cauchy := func(scale float64) float64 {
 		return scale * math.Tan(math.Pi*(r.Float64()-0.5))
 	}
 	if r.Float64() < rate*10 { // translation gene
-		q.Translation = q.Translation.Add(chem.V(cauchy(1.0), cauchy(1.0), cauchy(1.0)))
+		p.Translation = p.Translation.Add(chem.V(cauchy(1.0), cauchy(1.0), cauchy(1.0)))
 	}
 	if r.Float64() < rate*10 { // orientation gene
 		axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
-		q.Orientation = chem.AxisAngleQuat(axis, cauchy(0.3)).Mul(q.Orientation).Normalize()
+		p.Orientation = chem.AxisAngleQuat(axis, cauchy(0.3)).Mul(p.Orientation).Normalize()
 	}
-	for i := range q.Torsions {
+	for i := range p.Torsions {
 		if r.Float64() < rate*10 {
-			q.Torsions[i] = wrap(q.Torsions[i] + cauchy(0.3))
+			p.Torsions[i] = wrap(p.Torsions[i] + cauchy(0.3))
 		}
 	}
-	dock.ClampToBox(&q, box)
-	return q
+	dock.ClampToBox(p, box)
 }
 
 func wrap(a float64) float64 {
@@ -166,19 +236,26 @@ func wrap(a float64) float64 {
 
 // solisWets is AutoDock's local search: adaptive random-direction
 // descent. Successful steps expand the step size and leave a bias;
-// failures try the opposite direction, then shrink.
-func (e *Engine) solisWets(r *rand.Rand, s *Scorer, lig *dock.Ligand, p dock.Pose, feb float64, evals *int) (dock.Pose, float64) {
+// failures try the opposite direction, then shrink. The pose is
+// refined in place through the workspace — zero allocations per
+// candidate — and the improved energy returned.
+func (e *Engine) solisWets(r *rand.Rand, s *Scorer, ws *dock.Workspace, p *dock.Pose, feb float64, evals *int) float64 {
 	rho := 1.0
 	const rhoMin = 0.01
 	succ, fail := 0, 0
-	cur, curFeb := p.Clone(), feb
+	cur, cand := ws.Get(), ws.Get()
+	defer ws.Put(cur)
+	defer ws.Put(cand)
+	cur.Set(*p)
+	curFeb := feb
 	for it := 0; it < e.Params.LocalIts && rho > rhoMin; it++ {
-		cand := dock.Perturb(r, cur, rho*0.5, rho*0.15)
-		dock.ClampToBox(&cand, e.Box)
+		dock.PerturbInto(r, cand, *cur, rho*0.5, rho*0.15)
+		dock.ClampToBox(cand, e.Box)
 		*evals++
-		candFeb := s.Score(lig.Coords(cand))
+		candFeb := s.Score(ws.Coords(*cand))
 		if candFeb < curFeb {
-			cur, curFeb = cand, candFeb
+			cur, cand = cand, cur
+			curFeb = candFeb
 			succ++
 			fail = 0
 		} else {
@@ -194,5 +271,6 @@ func (e *Engine) solisWets(r *rand.Rand, s *Scorer, lig *dock.Ligand, p dock.Pos
 			fail = 0
 		}
 	}
-	return cur, curFeb
+	p.Set(*cur)
+	return curFeb
 }

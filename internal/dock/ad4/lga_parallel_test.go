@@ -1,0 +1,150 @@
+package ad4
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dock"
+	"repro/internal/prep"
+)
+
+// TestDockWorkersDeterministic pins the tentpole contract: GA runs
+// have independent seeds and land in run order, so the result is
+// byte-identical for every worker count.
+func TestDockWorkersDeterministic(t *testing.T) {
+	maps, lig, box := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := prep.DefaultDPF("l", "f", 321)
+	params.Runs, params.PopSize, params.Gens, params.Evals = 6, 14, 5, 2500
+	var want string
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		eng := &Engine{Params: params, Box: box, Workers: workers}
+		res, err := eng.Dock(s, lig)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := fmt.Sprintf("%+v", res)
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d result differs from sequential:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestConcurrentDockSharedScorer drives many goroutines through one
+// shared Scorer and grid.Maps (run under -race by scripts/check.sh):
+// both are read-only after construction, so concurrent Dock calls —
+// and the run pools inside each — must not trip the race detector.
+func TestConcurrentDockSharedScorer(t *testing.T) {
+	maps, lig, box := setupPair(t, "1S4V", "042")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			params := prep.DefaultDPF("l", "f", int64(500+g))
+			params.Runs, params.PopSize, params.Gens, params.Evals = 2, 10, 3, 800
+			eng := &Engine{Params: params, Box: box, Workers: 1 + g%3}
+			res, err := eng.Dock(s, lig)
+			if err == nil && len(res.Runs) != 2 {
+				err = fmt.Errorf("goroutine %d: %d runs", g, len(res.Runs))
+			}
+			errs[g] = err
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSolisWetsZeroAllocs pins the Lamarckian local-search hot path:
+// refining a pose through the workspace allocates nothing.
+func TestSolisWetsZeroAllocs(t *testing.T) {
+	maps, lig, box := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := prep.DefaultDPF("l", "f", 1)
+	params.LocalIts = 30
+	eng := &Engine{Params: params, Box: box}
+	ws := dock.NewWorkspace(lig)
+	r := rand.New(rand.NewSource(9))
+	p := ws.Get()
+	dock.RandomPoseInto(r, p, box, lig.NumTorsions())
+	feb := s.Score(lig.Coords(*p))
+	evals := 0
+	feb = eng.solisWets(r, s, ws, p, feb, &evals) // warm the free list
+	allocs := testing.AllocsPerRun(20, func() {
+		feb = eng.solisWets(r, s, ws, p, feb, &evals)
+	})
+	if allocs != 0 {
+		t.Fatalf("solisWets allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSolisWets tracks the AD4 local-search cost; allocs/op must
+// stay 0.
+func BenchmarkSolisWets(b *testing.B) {
+	maps, lig, box := setupPair(b, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := prep.DefaultDPF("l", "f", 1)
+	params.LocalIts = 30
+	eng := &Engine{Params: params, Box: box}
+	ws := dock.NewWorkspace(lig)
+	r := rand.New(rand.NewSource(9))
+	p := ws.Get()
+	dock.RandomPoseInto(r, p, box, lig.NumTorsions())
+	feb := s.Score(lig.Coords(*p))
+	evals := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feb = eng.solisWets(r, s, ws, p, feb, &evals)
+	}
+}
+
+func BenchmarkDockSequential(b *testing.B) {
+	benchDock(b, 1)
+}
+
+func BenchmarkDockParallel(b *testing.B) {
+	benchDock(b, 4)
+}
+
+func benchDock(b *testing.B, workers int) {
+	maps, lig, box := setupPair(b, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := prep.DefaultDPF("l", "f", 42)
+	params.Runs, params.PopSize, params.Gens, params.Evals = 4, 20, 6, 3000
+	eng := &Engine{Params: params, Box: box, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Dock(s, lig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,6 +27,14 @@ func (p Pose) Clone() Pose {
 	return q
 }
 
+// Set copies q into p, reusing p's torsion storage — the
+// allocation-free counterpart of Clone used by the search workspaces.
+func (p *Pose) Set(q Pose) {
+	p.Translation = q.Translation
+	p.Orientation = q.Orientation
+	p.Torsions = append(p.Torsions[:0], q.Torsions...)
+}
+
 // Box is the cuboid search space (the grid box for AD4, the
 // config-file box for Vina).
 type Box struct {
@@ -82,14 +90,22 @@ func (l *Ligand) Reference() []chem.Vec3 { return l.refCoord }
 // applied to the base conformation, the result re-centred, rotated by
 // the orientation and translated.
 func (l *Ligand) Coords(p Pose) []chem.Vec3 {
+	return l.CoordsInto(p, nil)
+}
+
+// CoordsInto is Coords writing into buf's storage (grown as needed),
+// so a search loop that keeps one buffer per worker evaluates
+// candidates without allocating. The returned slice aliases buf and
+// is overwritten by the next call that reuses it.
+func (l *Ligand) CoordsInto(p Pose, buf []chem.Vec3) []chem.Vec3 {
 	if len(p.Torsions) != l.NumTorsions() {
 		panic(fmt.Sprintf("dock: pose has %d torsions, ligand %d", len(p.Torsions), l.NumTorsions()))
 	}
 	var coords []chem.Vec3
 	if l.NumTorsions() == 0 {
-		coords = append([]chem.Vec3(nil), l.base...)
+		coords = append(buf[:0], l.base...)
 	} else {
-		coords = l.Tree.ApplyTorsions(l.base, p.Torsions)
+		coords = l.Tree.ApplyTorsionsInto(buf, l.base, p.Torsions)
 		c := chem.Centroid(coords)
 		for i := range coords {
 			coords[i] = coords[i].Sub(c)
@@ -106,34 +122,49 @@ func (l *Ligand) Coords(p Pose) []chem.Vec3 {
 // RNG: uniform translation, Shoemake-uniform orientation and uniform
 // torsions.
 func RandomPose(r *rand.Rand, box Box, nTorsions int) Pose {
-	p := Pose{
-		Translation: chem.V(
-			box.Center.X+(r.Float64()-0.5)*box.Size.X,
-			box.Center.Y+(r.Float64()-0.5)*box.Size.Y,
-			box.Center.Z+(r.Float64()-0.5)*box.Size.Z,
-		),
-		Orientation: chem.RandomQuat(r.Float64(), r.Float64(), r.Float64()),
-		Torsions:    make([]float64, nTorsions),
-	}
-	for i := range p.Torsions {
-		p.Torsions[i] = (r.Float64()*2 - 1) * math.Pi
-	}
+	var p Pose
+	RandomPoseInto(r, &p, box, nTorsions)
 	return p
+}
+
+// RandomPoseInto is RandomPose writing into dst, reusing its torsion
+// storage. The RNG draw order is identical to RandomPose, so mixing
+// the two on one seeded source stays reproducible.
+func RandomPoseInto(r *rand.Rand, dst *Pose, box Box, nTorsions int) {
+	dst.Translation = chem.V(
+		box.Center.X+(r.Float64()-0.5)*box.Size.X,
+		box.Center.Y+(r.Float64()-0.5)*box.Size.Y,
+		box.Center.Z+(r.Float64()-0.5)*box.Size.Z,
+	)
+	dst.Orientation = chem.RandomQuat(r.Float64(), r.Float64(), r.Float64())
+	dst.Torsions = dst.Torsions[:0]
+	for i := 0; i < nTorsions; i++ {
+		dst.Torsions = append(dst.Torsions, (r.Float64()*2-1)*math.Pi)
+	}
 }
 
 // Perturb returns a copy of the pose with gaussian displacement of
 // amplitude dt (Å) on translation, da (radians) on orientation and
 // torsions. Used by Solis-Wets and by Vina's mutation step.
 func Perturb(r *rand.Rand, p Pose, dt, da float64) Pose {
-	q := p.Clone()
-	q.Translation = q.Translation.Add(chem.V(
+	var q Pose
+	PerturbInto(r, &q, p, dt, da)
+	return q
+}
+
+// PerturbInto is Perturb writing into dst, reusing its torsion
+// storage (dst must not alias src's torsions). The RNG draw order is
+// identical to Perturb, so rewiring a search loop onto it cannot
+// change a seeded trajectory.
+func PerturbInto(r *rand.Rand, dst *Pose, src Pose, dt, da float64) {
+	dst.Set(src)
+	dst.Translation = dst.Translation.Add(chem.V(
 		r.NormFloat64()*dt, r.NormFloat64()*dt, r.NormFloat64()*dt))
 	axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
-	q.Orientation = chem.AxisAngleQuat(axis, r.NormFloat64()*da).Mul(q.Orientation).Normalize()
-	for i := range q.Torsions {
-		q.Torsions[i] = wrapAngle(q.Torsions[i] + r.NormFloat64()*da)
+	dst.Orientation = chem.AxisAngleQuat(axis, r.NormFloat64()*da).Mul(dst.Orientation).Normalize()
+	for i := range dst.Torsions {
+		dst.Torsions[i] = wrapAngle(dst.Torsions[i] + r.NormFloat64()*da)
 	}
-	return q
 }
 
 func wrapAngle(a float64) float64 {

@@ -18,6 +18,15 @@ type RefineResult struct {
 // around an existing pose, without the global exploration phase. The
 // returned pose is never worse than the input.
 func Refine(s Scorer, lig *Ligand, box Box, start Pose, iterations int, seed int64) (RefineResult, error) {
+	return RefineWorkspace(s, lig, box, start, iterations, seed, NewWorkspace(lig))
+}
+
+// RefineWorkspace is Refine evaluating through a caller-supplied
+// workspace, so batch refiners (and the benchmarks pinning the
+// allocation-free contract) reuse one scratch set across many poses.
+// Candidate evaluation allocates nothing; only the returned result
+// pose is a fresh copy.
+func RefineWorkspace(s Scorer, lig *Ligand, box Box, start Pose, iterations int, seed int64, ws *Workspace) (RefineResult, error) {
 	if iterations < 1 {
 		return RefineResult{}, fmt.Errorf("dock: refinement needs ≥ 1 iteration")
 	}
@@ -26,20 +35,24 @@ func Refine(s Scorer, lig *Ligand, box Box, start Pose, iterations int, seed int
 			len(start.Torsions), lig.NumTorsions())
 	}
 	r := rand.New(rand.NewSource(seed))
-	cur := start.Clone()
-	curFeb := s.Score(lig.Coords(cur))
+	cur, cand := ws.Get(), ws.Get()
+	defer ws.Put(cur)
+	defer ws.Put(cand)
+	cur.Set(start)
+	curFeb := s.Score(ws.Coords(*cur))
 	startFeb := curFeb
 	evals := 1
 	rho := 0.6
 	const rhoMin = 0.005
 	succ, fail := 0, 0
 	for it := 0; it < iterations && rho > rhoMin; it++ {
-		cand := Perturb(r, cur, rho, rho*0.3)
-		ClampToBox(&cand, box)
-		feb := s.Score(lig.Coords(cand))
+		PerturbInto(r, cand, *cur, rho, rho*0.3)
+		ClampToBox(cand, box)
+		feb := s.Score(ws.Coords(*cand))
 		evals++
 		if feb < curFeb {
-			cur, curFeb = cand, feb
+			cur, cand = cand, cur
+			curFeb = feb
 			succ++
 			fail = 0
 		} else {
@@ -56,7 +69,7 @@ func Refine(s Scorer, lig *Ligand, box Box, start Pose, iterations int, seed int
 		}
 	}
 	return RefineResult{
-		Pose:     cur,
+		Pose:     cur.Clone(),
 		FEB:      curFeb,
 		Improved: startFeb - curFeb,
 		Evals:    evals,

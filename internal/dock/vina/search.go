@@ -5,9 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chem"
 	"repro/internal/dock"
+	"repro/internal/parallel"
 	"repro/internal/prep"
 )
 
@@ -22,6 +25,12 @@ type Engine struct {
 	// StepsPerRestart bounds each Monte-Carlo chain; scaled from the
 	// config's exhaustiveness.
 	StepsPerRestart int
+	// Workers bounds the chain fan-out: 0 sizes it from the
+	// process-wide CPU token budget (internal/parallel), 1 forces
+	// sequential search, n > 1 uses exactly n workers. Output is
+	// byte-identical for every value — chains have independent seeds
+	// and merge in chain order.
+	Workers int
 }
 
 // mode is one distinct binding mode found during search.
@@ -31,10 +40,13 @@ type mode struct {
 }
 
 // Dock runs iterated-local-search Monte Carlo: `exhaustiveness`
-// independent chains of perturb→local-optimize→Metropolis steps. The
-// distinct low-energy modes become the result's runs, with RMSD
-// reported relative to the best mode — Vina's output convention
-// (mode 1 has RMSD 0).
+// independent chains of perturb→local-optimize→Metropolis steps,
+// fanned over a bounded worker pool (real Vina threads its chains the
+// same way). Each chain draws from its own seeded RNG and lands in
+// its own modes slot, so the merged result is identical for any
+// worker count. The distinct low-energy modes become the result's
+// runs, with RMSD reported relative to the best mode — Vina's output
+// convention (mode 1 has RMSD 0).
 func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
 	if e.Config.Exhaustiveness <= 0 {
 		return nil, fmt.Errorf("vina: exhaustiveness %d must be positive", e.Config.Exhaustiveness)
@@ -44,41 +56,55 @@ func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
 		steps = 40
 	}
 	box := dock.Box{Center: e.Config.Center, Size: e.Config.Size}
-	nt := lig.NumTorsions()
-	var modes []mode
+	nChains := e.Config.Exhaustiveness
+	modes := make([]mode, nChains)
 
-	for chain := 0; chain < e.Config.Exhaustiveness; chain++ {
-		r := rand.New(rand.NewSource(e.Config.Seed + int64(chain)*104729))
-		cur := dock.RandomPose(r, box, nt)
-		cur, curFeb := e.localOptimize(s, lig, box, cur, r)
-		bestPose, bestFeb := cur, curFeb
-		const temperature = 1.2 // kcal/mol, Vina's Metropolis T
-		for step := 0; step < steps; step++ {
-			cand := dock.Perturb(r, cur, 2.0, 0.5)
-			dock.ClampToBox(&cand, box)
-			cand, candFeb := e.localOptimize(s, lig, box, cand, r)
-			if candFeb < curFeb || r.Float64() < math.Exp((curFeb-candFeb)/temperature) {
-				cur, curFeb = cand, candFeb
-				if curFeb < bestFeb {
-					bestPose, bestFeb = cur, curFeb
-				}
-			}
-		}
-		modes = append(modes, mode{pose: bestPose, feb: bestFeb})
+	workers := e.Workers
+	release := func() {}
+	if workers <= 0 {
+		workers, release = parallel.Tokens().Grab(nChains)
 	}
+	if workers > nChains {
+		workers = nChains
+	}
+	if workers <= 1 {
+		ws := dock.NewWorkspace(lig)
+		for chain := 0; chain < nChains; chain++ {
+			modes[chain] = e.runChain(s, lig, box, chain, steps, ws)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := dock.NewWorkspace(lig)
+				for {
+					chain := int(next.Add(1)) - 1
+					if chain >= nChains {
+						return
+					}
+					modes[chain] = e.runChain(s, lig, box, chain, steps, ws)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	release()
 
-	modes = dedupeModes(lig, modes, 2.0, e.Config.NumModes)
+	kept := dedupeModes(lig, modes, 2.0, e.Config.NumModes)
 	res := &dock.Result{
 		Program:  ProgramName,
 		Receptor: e.receptorName(s),
 		Ligand:   lig.Mol.Name,
 		Seed:     e.Config.Seed,
 	}
-	if len(modes) == 0 {
+	if len(kept) == 0 {
 		return res, nil
 	}
-	bestCoords := lig.Coords(modes[0].pose)
-	for i, m := range modes {
+	bestCoords := lig.Coords(kept[0].pose)
+	for i, m := range kept {
 		rmsd := 0.0
 		if i > 0 {
 			v, err := chem.RMSD(lig.Coords(m.pose), bestCoords)
@@ -94,6 +120,38 @@ func (e *Engine) Dock(s *Scorer, lig *dock.Ligand) (*dock.Result, error) {
 	return res, nil
 }
 
+// runChain executes one Monte-Carlo chain on its own seeded RNG. The
+// chain seeds (Seed + chain·104729) are mutually independent, so
+// chains can run on any worker in any order without changing their
+// trajectories. All candidate evaluation goes through the worker's
+// workspace: zero heap allocations per evaluation.
+func (e *Engine) runChain(s *Scorer, lig *dock.Ligand, box dock.Box, chain, steps int, ws *dock.Workspace) mode {
+	r := rand.New(rand.NewSource(e.Config.Seed + int64(chain)*104729))
+	cur, cand, best := ws.Get(), ws.Get(), ws.Get()
+	defer ws.Put(cur)
+	defer ws.Put(cand)
+	defer ws.Put(best)
+	dock.RandomPoseInto(r, cur, box, lig.NumTorsions())
+	curFeb := e.localOptimize(s, ws, box, cur, r)
+	best.Set(*cur)
+	bestFeb := curFeb
+	const temperature = 1.2 // kcal/mol, Vina's Metropolis T
+	for step := 0; step < steps; step++ {
+		dock.PerturbInto(r, cand, *cur, 2.0, 0.5)
+		dock.ClampToBox(cand, box)
+		candFeb := e.localOptimize(s, ws, box, cand, r)
+		if candFeb < curFeb || r.Float64() < math.Exp((curFeb-candFeb)/temperature) {
+			cur, cand = cand, cur
+			curFeb = candFeb
+			if curFeb < bestFeb {
+				best.Set(*cur)
+				bestFeb = curFeb
+			}
+		}
+	}
+	return mode{pose: best.Clone(), feb: bestFeb}
+}
+
 func (e *Engine) receptorName(s *Scorer) string {
 	if s.Receptor != nil {
 		return s.Receptor.Name
@@ -104,17 +162,20 @@ func (e *Engine) receptorName(s *Scorer) string {
 // localOptimize is Vina's quasi-Newton refinement, reproduced with a
 // derivative-free compass search over the pose degrees of freedom:
 // each DOF is probed ±step, improvements kept, the step halved on
-// stagnation.
-func (e *Engine) localOptimize(s *Scorer, lig *dock.Ligand, box dock.Box, p dock.Pose, r *rand.Rand) (dock.Pose, float64) {
-	cur := p.Clone()
-	curFeb := s.Score(lig.Coords(cur))
+// stagnation. The pose is optimized in place through the workspace —
+// no allocation per probe — and the improved energy returned.
+func (e *Engine) localOptimize(s *Scorer, ws *dock.Workspace, box dock.Box, cur *dock.Pose, r *rand.Rand) float64 {
+	lig := ws.Ligand()
+	probe := ws.Get()
+	defer ws.Put(probe)
+	curFeb := s.Score(ws.Coords(*cur))
 	step := 1.0
 	for step > 0.12 {
 		improved := false
 		// Translation axes.
 		for axis := 0; axis < 3; axis++ {
 			for _, sign := range []float64{1, -1} {
-				cand := cur.Clone()
+				probe.Set(*cur)
 				d := chem.Vec3{}
 				switch axis {
 				case 0:
@@ -124,10 +185,11 @@ func (e *Engine) localOptimize(s *Scorer, lig *dock.Ligand, box dock.Box, p dock
 				case 2:
 					d.Z = sign * step
 				}
-				cand.Translation = cand.Translation.Add(d)
-				dock.ClampToBox(&cand, box)
-				if feb := s.Score(lig.Coords(cand)); feb < curFeb {
-					cur, curFeb = cand, feb
+				probe.Translation = probe.Translation.Add(d)
+				dock.ClampToBox(probe, box)
+				if feb := s.Score(ws.Coords(*probe)); feb < curFeb {
+					cur.Set(*probe)
+					curFeb = feb
 					improved = true
 				}
 			}
@@ -137,20 +199,22 @@ func (e *Engine) localOptimize(s *Scorer, lig *dock.Ligand, box dock.Box, p dock
 		// BFGS restarts in effect).
 		axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
 		for _, sign := range []float64{1, -1} {
-			cand := cur.Clone()
-			cand.Orientation = chem.AxisAngleQuat(axis, sign*step*0.4).Mul(cand.Orientation).Normalize()
-			if feb := s.Score(lig.Coords(cand)); feb < curFeb {
-				cur, curFeb = cand, feb
+			probe.Set(*cur)
+			probe.Orientation = chem.AxisAngleQuat(axis, sign*step*0.4).Mul(probe.Orientation).Normalize()
+			if feb := s.Score(ws.Coords(*probe)); feb < curFeb {
+				cur.Set(*probe)
+				curFeb = feb
 				improved = true
 			}
 		}
 		// Torsions.
-		for i := range cur.Torsions {
+		for i := 0; i < lig.NumTorsions(); i++ {
 			for _, sign := range []float64{1, -1} {
-				cand := cur.Clone()
-				cand.Torsions[i] += sign * step * 0.5
-				if feb := s.Score(lig.Coords(cand)); feb < curFeb {
-					cur, curFeb = cand, feb
+				probe.Set(*cur)
+				probe.Torsions[i] += sign * step * 0.5
+				if feb := s.Score(ws.Coords(*probe)); feb < curFeb {
+					cur.Set(*probe)
+					curFeb = feb
 					improved = true
 				}
 			}
@@ -159,23 +223,28 @@ func (e *Engine) localOptimize(s *Scorer, lig *dock.Ligand, box dock.Box, p dock
 			step /= 2
 		}
 	}
-	return cur, curFeb
+	return curFeb
 }
 
 // dedupeModes sorts modes by energy and drops poses within rmsdCut of
-// an already-kept mode, keeping at most maxModes.
+// an already-kept mode, keeping at most maxModes. Every mode's
+// coordinates are materialized exactly once before the pairwise pass
+// (they used to be recomputed inside it).
 func dedupeModes(lig *dock.Ligand, ms []mode, rmsdCut float64, maxModes int) []mode {
 	sort.Slice(ms, func(i, j int) bool { return ms[i].feb < ms[j].feb })
 	if maxModes <= 0 {
 		maxModes = 9
 	}
+	coords := make([][]chem.Vec3, len(ms))
+	for i := range ms {
+		coords[i] = lig.Coords(ms[i].pose)
+	}
 	var kept []mode
-	var keptCoords [][]chem.Vec3
-	for _, m := range ms {
-		c := lig.Coords(m.pose)
+	var keptIdx []int
+	for i, m := range ms {
 		dup := false
-		for _, kc := range keptCoords {
-			if v, err := chem.RMSD(c, kc); err == nil && v < rmsdCut {
+		for _, k := range keptIdx {
+			if v, err := chem.RMSD(coords[i], coords[k]); err == nil && v < rmsdCut {
 				dup = true
 				break
 			}
@@ -184,7 +253,7 @@ func dedupeModes(lig *dock.Ligand, ms []mode, rmsdCut float64, maxModes int) []m
 			continue
 		}
 		kept = append(kept, m)
-		keptCoords = append(keptCoords, c)
+		keptIdx = append(keptIdx, i)
 		if len(kept) >= maxModes {
 			break
 		}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/mpj"
+	"repro/internal/parallel"
 	"repro/internal/prov"
 	"repro/internal/sched"
 	"repro/internal/simfs"
@@ -54,7 +55,10 @@ type Options struct {
 	// AbortRules are evaluated before each activation.
 	AbortRules []AbortRule
 	// Parallelism caps the wall-clock goroutines running activity
-	// bodies; 0 = GOMAXPROCS.
+	// bodies; 0 = GOMAXPROCS. The actual fan-out of each stage is
+	// additionally bounded by the process-wide CPU token budget
+	// (internal/parallel), so engine stages, grid generation and the
+	// docking search pools cannot jointly oversubscribe the machine.
 	Parallelism int
 	// BaseTime anchors virtual timestamps; zero = 2014-03-01 UTC (the
 	// paper's experiment window).
@@ -523,6 +527,8 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 	if workers > len(pending) {
 		workers = len(pending)
 	}
+	workers, releaseTokens := parallel.Tokens().Grab(workers)
+	defer releaseTokens()
 	comm, err := mpj.NewComm(workers + 1)
 	if err != nil {
 		// Unreachable (workers ≥ 1); degrade to serial execution.
@@ -603,7 +609,13 @@ func (e *Engine) executeReduceBodies(act *workflow.Activity, inputs []workflow.T
 		groups[k] = append(groups[k], in)
 	}
 	outcomes := make([]activationOutcome, len(order))
-	sem := make(chan struct{}, e.opts.Parallelism)
+	workers := e.opts.Parallelism
+	if workers > len(order) {
+		workers = len(order)
+	}
+	workers, releaseTokens := parallel.Tokens().Grab(workers)
+	defer releaseTokens()
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, key := range order {
 		group := groups[key]

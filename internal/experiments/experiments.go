@@ -493,7 +493,7 @@ func (s *Suite) All() (string, error) {
 }
 
 // ByName dispatches one experiment by id ("t1".."t3", "f5".."f11",
-// "all").
+// "kernels", "search", "all").
 func (s *Suite) ByName(name string) (string, error) {
 	switch strings.ToLower(name) {
 	case "t1":
@@ -518,9 +518,11 @@ func (s *Suite) ByName(name string) (string, error) {
 		return s.Figure11()
 	case "kernels":
 		return s.KernelsText()
+	case "search":
+		return s.SearchText()
 	case "all":
 		return s.All()
 	default:
-		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, all)", name)
+		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, search, all)", name)
 	}
 }

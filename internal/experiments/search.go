@@ -1,0 +1,259 @@
+// Search benchmarks: machine-readable timings of the conformational
+// search rewrite — allocation-free workspace evaluation vs the old
+// allocating path, and sequential vs pooled chain/run fan-out for
+// both docking engines. cmd/dockbench serializes the report to
+// BENCH_search.json so perf regressions are diffable across commits.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+
+	"repro/internal/chem"
+	"repro/internal/data"
+	"repro/internal/dock"
+	"repro/internal/dock/ad4"
+	"repro/internal/dock/vina"
+	"repro/internal/grid"
+	"repro/internal/prep"
+)
+
+// SearchBench is one measured search configuration.
+type SearchBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Workers is the explicit fan-out of Dock entries (0 for
+	// per-candidate entries, which are single-threaded by nature).
+	Workers int `json:"workers,omitempty"`
+	// Speedup is NsPerOp of the matching baseline (allocating
+	// evaluation, or sequential search) divided by this entry's
+	// NsPerOp; only set on rewritten/parallel entries.
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// SearchReport is the full search benchmark result set.
+type SearchReport struct {
+	Workload   string `json:"workload"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Note qualifies the parallel numbers on hosts where the fan-out
+	// cannot show wall-clock gains (single-core containers).
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []SearchBench `json:"benchmarks"`
+}
+
+// JSON renders the report for BENCH_search.json.
+func (r *SearchReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the human-readable table dockbench prints.
+func (r *SearchReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("SEARCH BENCHMARKS (workspace + parallel chains vs sequential)\n")
+	fmt.Fprintf(&sb, "workload: %s, GOMAXPROCS=%d, NumCPU=%d\n", r.Workload, r.GoMaxProcs, r.NumCPU)
+	if r.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", r.Note)
+	}
+	fmt.Fprintf(&sb, "%-26s %8s %14s %12s %10s\n", "benchmark", "workers", "ns/op", "allocs/op", "speedup")
+	for _, b := range r.Benchmarks {
+		w := ""
+		if b.Workers > 0 {
+			w = fmt.Sprintf("%d", b.Workers)
+		}
+		sp := ""
+		if b.Speedup > 0 {
+			sp = fmt.Sprintf("%.2fx", b.Speedup)
+		}
+		fmt.Fprintf(&sb, "%-26s %8s %14.0f %12.1f %10s\n", b.Name, w, b.NsPerOp, b.AllocsPerOp, sp)
+	}
+	return sb.String()
+}
+
+// Search measures the conformational-search rewrite on the standard
+// workload (receptor 2HHN vs ligand 0E6): per-candidate evaluation on
+// the old allocating path vs the workspace path, then full Vina and
+// AD4 dockings sequential vs fanned out. Quick mode shrinks iteration
+// counts for smoke runs.
+func (s *Suite) Search() (*SearchReport, error) {
+	rec, _ := data.GenerateReceptor("2HHN")
+	prec, err := prep.PrepareReceptor(rec)
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := data.GenerateLigand("0E6")
+	mol2, err := prep.ConvertSDFToMol2(raw)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := prep.PrepareLigand(mol2)
+	if err != nil {
+		return nil, err
+	}
+	lig, err := dock.NewLigand(pl.Mol, pl.Tree)
+	if err != nil {
+		return nil, err
+	}
+
+	evalIters, dockIters, steps := 20000, 6, 8
+	if s.Quick {
+		evalIters, dockIters, steps = 500, 1, 3
+	}
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 4 {
+		parWorkers = 4
+	}
+
+	rep := &SearchReport{
+		Workload: fmt.Sprintf("receptor 2HHN (%d atoms), ligand 0E6 (%d torsions), exhaustiveness 8",
+			prec.NumAtoms(), lig.NumTorsions()),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if runtime.NumCPU() < 2 {
+		rep.Note = "single-CPU host: chain fan-out is correctness-only here; wall-clock speedup requires a multi-core run"
+	}
+	add := func(name string, workers int, baselineNs float64, iters int, fn func() error) (float64, error) {
+		var innerErr error
+		ns, allocs := measure(iters, func() {
+			if err := fn(); err != nil {
+				innerErr = err
+			}
+		})
+		if innerErr != nil {
+			return 0, fmt.Errorf("experiments: search %s: %w", name, innerErr)
+		}
+		b := SearchBench{Name: name, Workers: workers, NsPerOp: ns, AllocsPerOp: allocs}
+		if baselineNs > 0 {
+			b.Speedup = baselineNs / ns
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		return ns, nil
+	}
+
+	box := dock.Box{Center: chem.Vec3{}, Size: chem.V(26, 26, 26)}
+
+	// Vina: per-candidate evaluation, allocating path vs workspace.
+	vs, err := vina.NewScorer(prec, lig)
+	if err != nil {
+		return nil, err
+	}
+	evalRNG := rand.New(rand.NewSource(3))
+	cur := dock.RandomPose(evalRNG, box, lig.NumTorsions())
+	allocNs, err := add("vina_eval_alloc", 0, 0, evalIters, func() error {
+		cand := dock.Perturb(evalRNG, cur, 1.0, 0.3)
+		dock.ClampToBox(&cand, box)
+		vs.Score(lig.Coords(cand))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ws := dock.NewWorkspace(lig)
+	cand := ws.Get()
+	if _, err := add("vina_eval_workspace", 0, allocNs, evalIters, func() error {
+		dock.PerturbInto(evalRNG, cand, cur, 1.0, 0.3)
+		dock.ClampToBox(cand, box)
+		vs.Score(ws.Coords(*cand))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Vina: full docking, sequential vs pooled chains.
+	vinaCfg := prep.VinaConfig{
+		Receptor: "2HHN.pdbqt", Ligand: "0E6.pdbqt",
+		Center: box.Center, Size: box.Size,
+		Exhaustiveness: 8, NumModes: 9, Seed: 42,
+	}
+	vinaSeqNs, err := add("vina_dock_sequential", 1, 0, dockIters, func() error {
+		eng := &vina.Engine{Config: vinaCfg, StepsPerRestart: steps, Workers: 1}
+		_, err := eng.Dock(vs, lig)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := add("vina_dock_parallel", parWorkers, vinaSeqNs, dockIters, func() error {
+		eng := &vina.Engine{Config: vinaCfg, StepsPerRestart: steps, Workers: parWorkers}
+		_, err := eng.Dock(vs, lig)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// AD4: per-candidate evaluation and full GA docking.
+	npts := 20
+	if s.Quick {
+		npts = 12
+	}
+	spec := grid.Spec{Center: chem.Vec3{}, NPts: [3]int{npts, npts, npts}, Spacing: 1.4}
+	maps, err := grid.Generate(prec, spec, pl.Mol.AtomTypes())
+	if err != nil {
+		return nil, err
+	}
+	as, err := ad4.NewScorer(maps, lig)
+	if err != nil {
+		return nil, err
+	}
+	ad4Box := dock.Box{
+		Center: spec.Center,
+		Size: chem.V(
+			float64(spec.NPts[0]-1)*spec.Spacing,
+			float64(spec.NPts[1]-1)*spec.Spacing,
+			float64(spec.NPts[2]-1)*spec.Spacing),
+	}
+	ad4AllocNs, err := add("ad4_eval_alloc", 0, 0, evalIters, func() error {
+		c := dock.Perturb(evalRNG, cur, 1.0, 0.3)
+		dock.ClampToBox(&c, ad4Box)
+		as.Score(lig.Coords(c))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := add("ad4_eval_workspace", 0, ad4AllocNs, evalIters, func() error {
+		dock.PerturbInto(evalRNG, cand, cur, 1.0, 0.3)
+		dock.ClampToBox(cand, ad4Box)
+		as.Score(ws.Coords(*cand))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	params := prep.DefaultDPF("0E6.pdbqt", "2HHN.maps.fld", 42)
+	params.Runs, params.PopSize, params.Gens, params.Evals = 8, 20, 6, 3000
+	if s.Quick {
+		params.Runs, params.PopSize, params.Gens, params.Evals = 2, 10, 3, 600
+	}
+	ad4SeqNs, err := add("ad4_dock_sequential", 1, 0, dockIters, func() error {
+		eng := &ad4.Engine{Params: params, Box: ad4Box, Workers: 1}
+		_, err := eng.Dock(as, lig)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := add("ad4_dock_parallel", parWorkers, ad4SeqNs, dockIters, func() error {
+		eng := &ad4.Engine{Params: params, Box: ad4Box, Workers: parWorkers}
+		_, err := eng.Dock(as, lig)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// SearchText is the ByName-facing wrapper returning the formatted
+// table.
+func (s *Suite) SearchText() (string, error) {
+	rep, err := s.Search()
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/chem"
 	"repro/internal/dock/tables"
+	"repro/internal/parallel"
 )
 
 // Spec describes the lattice: centre, points per axis and spacing, the
@@ -147,9 +148,9 @@ type generator struct {
 	spec        Spec
 	origin      chem.Vec3
 	cells       *cellList
-	charge      []float64         // per receptor atom
-	dcoef       []float64         // per receptor atom, desolvation prefactor
-	typeIdx     []int32           // per receptor atom, index into pairTbl rows
+	charge      []float64          // per receptor atom
+	dcoef       []float64          // per receptor atom, desolvation prefactor
+	typeIdx     []int32            // per receptor atom, index into pairTbl rows
 	pairTbl     [][]*tables.Radial // [receptor type][probe] smoothed AD4 tables
 	elecTbl     *tables.Radial
 	desolvTbl   *tables.Radial
@@ -208,8 +209,11 @@ func Generate(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps,
 	return GenerateWorkers(receptor, spec, types, 0)
 }
 
-// GenerateWorkers is Generate with an explicit worker count (≤ 0 means
-// GOMAXPROCS). The z-slab decomposition is determined by the Spec
+// GenerateWorkers is Generate with an explicit worker count (≤ 0 sizes
+// the slab pool from the process-wide CPU token budget of
+// internal/parallel, so a Generate nested under an already-parallel
+// stage degrades to serial instead of oversubscribing the machine).
+// The z-slab decomposition is determined by the Spec
 // alone and every lattice point is written exactly once, so the output
 // is bit-identical for every worker count.
 func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, workers int) (*Maps, error) {
@@ -257,7 +261,13 @@ func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, 
 
 	nz := spec.NPts[2]
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		want := runtime.GOMAXPROCS(0)
+		if want > nz {
+			want = nz
+		}
+		var release func()
+		workers, release = parallel.Tokens().Grab(want)
+		defer release()
 	}
 	if workers > nz {
 		workers = nz

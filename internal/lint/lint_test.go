@@ -365,6 +365,52 @@ func elapsed(d time.Duration) time.Duration { return d * 2 }
 		cold = strings.ReplaceAll(cold, `// want "in deterministic hot path"`, "")
 		runCase(t, WildRand, "repro/internal/analysis/fixture", "", "fixture.go", cold)
 	})
+	// Regression guard for the parallel search pools: per-worker seeded
+	// sources must stay clean, while a global draw inside a pooled
+	// goroutine is flagged.
+	poolSrc := `package p
+
+import (
+	"math/rand"
+	"sync"
+)
+
+func searchChains(seed int64, chains, workers int) []float64 {
+	out := make([]float64, chains)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < chains; c += workers {
+				r := rand.New(rand.NewSource(seed + int64(c)*104729)) // per-chain source: exempt
+				out[c] = r.Float64()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+func jitteredChains(chains int) []float64 {
+	out := make([]float64, chains)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := w; c < chains; c += 2 {
+				out[c] = rand.Float64() // want "math/rand global source call rand.Float64"
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+`
+	t.Run("worker_pool", func(t *testing.T) {
+		runCase(t, WildRand, "repro/internal/dock/fixture", "", "fixture.go", poolSrc)
+	})
 }
 
 func TestProvPair(t *testing.T) {

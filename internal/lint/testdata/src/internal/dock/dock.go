@@ -26,3 +26,42 @@ func Seeded(seed int64) float64 {
 	r := rand.New(rand.NewSource(seed))
 	return r.Float64()
 }
+
+// PoolGlobalRand mirrors the worker-pool shape of the parallel search
+// engines but draws from the process-global source inside the worker
+// goroutine — non-reproducible across worker counts (wildrand, error).
+func PoolGlobalRand(chains int) []float64 {
+	out := make([]float64, chains)
+	done := make(chan int)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			for c := w; c < chains; c += 2 {
+				out[c] = rand.Float64()
+			}
+			done <- w
+		}(w)
+	}
+	<-done
+	<-done
+	return out
+}
+
+// PoolSeededRand is the approved pattern the Vina and AD4 search pools
+// use: every chain derives its own rand.Rand from the chain index, so
+// trajectories are identical for any worker count (clean).
+func PoolSeededRand(seed int64, chains int) []float64 {
+	out := make([]float64, chains)
+	done := make(chan int)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			for c := w; c < chains; c += 2 {
+				r := rand.New(rand.NewSource(seed + int64(c)*104729))
+				out[c] = r.Float64()
+			}
+			done <- w
+		}(w)
+	}
+	<-done
+	<-done
+	return out
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryAcquireRelease(t *testing.T) {
+	p := NewPool(4)
+	if got := p.TryAcquire(3); got != 3 {
+		t.Fatalf("TryAcquire(3) = %d, want 3", got)
+	}
+	if got := p.TryAcquire(3); got != 1 {
+		t.Fatalf("TryAcquire(3) on depleted pool = %d, want 1", got)
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire(1) on empty pool = %d, want 0", got)
+	}
+	p.Release(4)
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse after full release = %d", got)
+	}
+	if got := p.TryAcquire(-2); got != 0 {
+		t.Fatalf("negative request granted %d tokens", got)
+	}
+	p.Release(0) // no-op
+	p.Release(-1)
+}
+
+func TestReleaseOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	NewPool(2).Release(1)
+}
+
+func TestGrabDegradesToSequential(t *testing.T) {
+	p := NewPool(3)
+	w1, rel1 := p.Grab(8)
+	if w1 != 4 {
+		t.Fatalf("first Grab(8) = %d workers, want 4 (caller + 3 tokens)", w1)
+	}
+	// Nested fan-out while the outer level holds everything: runs
+	// sequentially instead of oversubscribing.
+	w2, rel2 := p.Grab(8)
+	if w2 != 1 {
+		t.Fatalf("nested Grab(8) = %d workers, want 1", w2)
+	}
+	rel2()
+	rel1()
+	rel1() // idempotent
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("tokens leaked: InUse = %d", got)
+	}
+	// After release the budget is whole again.
+	if w3, rel3 := p.Grab(2); w3 != 2 {
+		t.Fatalf("Grab(2) after release = %d workers, want 2", w3)
+	} else {
+		rel3()
+	}
+}
+
+func TestGrabSingleWorkerBypassesPool(t *testing.T) {
+	p := NewPool(0)
+	w, rel := p.Grab(1)
+	if w != 1 {
+		t.Fatalf("Grab(1) = %d", w)
+	}
+	rel()
+	w, rel = p.Grab(6)
+	if w != 1 {
+		t.Fatalf("Grab(6) on zero-capacity pool = %d, want 1", w)
+	}
+	rel()
+}
+
+func TestNegativeCapacityClamps(t *testing.T) {
+	p := NewPool(-5)
+	if p.Cap() != 0 {
+		t.Fatalf("Cap = %d, want 0", p.Cap())
+	}
+}
+
+func TestGlobalPoolSized(t *testing.T) {
+	if Tokens() == nil {
+		t.Fatal("global pool missing")
+	}
+	if Tokens().Cap() < 0 {
+		t.Fatalf("global capacity %d negative", Tokens().Cap())
+	}
+}
+
+// TestConcurrentGrab hammers the pool from many goroutines under
+// -race: the invariant is that outstanding tokens never exceed
+// capacity and everything is returned at the end.
+func TestConcurrentGrab(t *testing.T) {
+	p := NewPool(5)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				w, rel := p.Grab(4)
+				if w < 1 || w > 4 {
+					t.Errorf("Grab(4) = %d workers", w)
+				}
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("tokens leaked: InUse = %d", got)
+	}
+}

@@ -24,4 +24,7 @@ go test -run '^$' -bench . -benchtime=1x \
 	./internal/grid ./internal/dock \
 	./internal/dock/tables ./internal/dock/vina ./internal/dock/ad4
 
+echo "==> search benchmark smoke (dockbench -exp search -quick)"
+go run ./cmd/dockbench -exp search -quick -benchout ''
+
 echo "check: all gates passed"
