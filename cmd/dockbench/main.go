@@ -11,6 +11,9 @@
 //	dockbench -exp search       # conformational-search benchmarks
 //	                            # (workspace + parallel chains), also
 //	                            # written to -benchout as JSON
+//	dockbench -exp pipeline     # stage-barrier vs pipelined dataflow
+//	                            # runtime (virtual TET), also written
+//	                            # to -benchout as JSON
 package main
 
 import (
@@ -30,10 +33,10 @@ type jsonReport interface {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search or all")
+		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search, pipeline or all")
 		quick    = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
 		benchout = flag.String("benchout", "auto",
-			"JSON output path for -exp kernels/search; \"auto\" picks BENCH_<exp>.json, empty skips")
+			"JSON output path for -exp kernels/search/pipeline; \"auto\" picks BENCH_<exp>.json, empty skips")
 	)
 	flag.Parse()
 	s := &experiments.Suite{Quick: *quick}
@@ -45,6 +48,8 @@ func main() {
 		rep, err = s.Kernels()
 	case "search":
 		rep, err = s.Search()
+	case "pipeline":
+		rep, err = s.Pipeline()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dockbench:", err)

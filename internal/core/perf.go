@@ -87,6 +87,9 @@ func perfRun(cfg PerfConfig, cores int) (float64, error) {
 		g.WorkerCap = cores
 		scheduler = g
 	}
+	// The sweep replays the barrier execution model: whole stages
+	// planned at once through the batch adapter.
+	batch := sched.Batch{S: scheduler}
 
 	clock := 0.0
 	for _, vm := range vms {
@@ -136,7 +139,7 @@ func perfRun(cfg PerfConfig, cores int) (float64, error) {
 		if len(acts) == 0 {
 			continue
 		}
-		_, makespan, err := scheduler.Schedule(clock, acts, vms)
+		_, makespan, err := batch.Schedule(clock, acts, vms)
 		if err != nil {
 			return 0, err
 		}

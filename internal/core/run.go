@@ -66,6 +66,10 @@ type Config struct {
 	Adaptive        *sched.AdaptivePolicy
 	Parallelism     int
 	DisableFailures bool
+	// Runtime selects the execution engine: the pipelined dataflow
+	// runtime (default) or the legacy stage-barrier executor, kept for
+	// ablation.
+	Runtime engine.Runtime
 	// OnStageComplete receives runtime-steering snapshots after each
 	// activity stage (§IV.B's runtime provenance monitoring).
 	OnStageComplete func(engine.StageEvent)
@@ -137,6 +141,7 @@ func Run(cfg Config) (*Campaign, error) {
 		Adaptive:            cfg.Adaptive,
 		Parallelism:         cfg.Parallelism,
 		DisableFailures:     cfg.DisableFailures,
+		Runtime:             cfg.Runtime,
 		OnStageComplete:     cfg.OnStageComplete,
 		ProvenanceEstimates: cfg.ProvenanceEstimates,
 	}

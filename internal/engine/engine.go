@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -45,6 +46,10 @@ type Options struct {
 	// 7-9). VMs are leased to cover it; extra cores on the last VM
 	// stay idle, as with the paper's 2-core baseline.
 	Cores int
+	// Runtime selects the execution strategy: the pipelined dataflow
+	// runtime (default) or the legacy stage-barrier executor, kept
+	// for ablation. See dataflow.go.
+	Runtime Runtime
 	// Scheduler plans activations onto VM cores; defaults to the
 	// calibrated greedy scheduler.
 	Scheduler sched.Scheduler
@@ -72,15 +77,17 @@ type Options struct {
 	// cost model does — the scheduler cannot know true durations in
 	// advance. Off = oracle ordering (the ablation baseline).
 	ProvenanceEstimates bool
-	// OnStageComplete, when set, is invoked after every activity
-	// stage with a snapshot event — the hook behind the paper's
+	// OnStageComplete, when set, receives a progress event whenever
+	// an activity closes — under the barrier runtime that is the end
+	// of its stage, under the dataflow runtime the moment its last
+	// activation's placement closes. The hook behind the paper's
 	// runtime provenance monitoring and user steering (§IV.B): the
 	// callback may query Engine.DB while the workflow is mid-flight.
 	OnStageComplete func(StageEvent)
 }
 
-// StageEvent is the runtime-steering snapshot delivered after each
-// stage.
+// StageEvent is the runtime-steering progress snapshot delivered when
+// an activity closes (all of its activations have finished).
 type StageEvent struct {
 	WorkflowID int64
 	Activity   string
@@ -260,19 +267,42 @@ func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, e
 	}
 
 	report := &Report{WorkflowID: wkfid}
-	outputs := map[string][]workflow.Tuple{}
 	// Workflows on a shared engine run back to back on one virtual
 	// timeline (absolute provenance timestamps); each report's TET is
 	// measured from its own start.
 	start := e.Sim.Now()
 	clock := start
-	// Boot latency of the initial fleet delays the first stage.
+	// Boot latency of the initial fleet delays the first activations.
 	for _, vm := range fleet {
 		if vm.ReadyAt > clock {
 			clock = vm.ReadyAt
 		}
 	}
 
+	if e.opts.Runtime == RuntimeBarrier {
+		err = e.runBarrier(order, actIDs, wkfid, input, fleet, report, &clock)
+	} else {
+		err = e.runDataflow(order, actIDs, wkfid, input, fleet, report, &clock)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	report.TET = clock - start
+	// Advance the simulator so billing sees the full execution span.
+	e.advanceSim(clock)
+	report.CostUSD = e.Cluster.Cost()
+	return report, nil
+}
+
+// runBarrier is the legacy stage-synchronized executor (kept for
+// ablation against the dataflow runtime): activities run in
+// topological order, and every tuple of a stage must finish before
+// any tuple of the next may start.
+func (e *Engine) runBarrier(order []*workflow.Activity, actIDs map[string]int64, wkfid int64,
+	input *workflow.Relation, fleet []*cloud.VM, report *Report, clock *float64) error {
+
+	outputs := map[string][]workflow.Tuple{}
 	for _, act := range order {
 		var inputs []workflow.Tuple
 		if len(act.Depends) == 0 {
@@ -293,18 +323,19 @@ func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, e
 		// first, so newly acquired VMs are billed from now and pay
 		// their boot latency before the stage can use them.
 		if e.opts.Adaptive != nil {
-			e.advanceSim(clock)
+			e.advanceSim(*clock)
 			work := e.estimateStageWork(act.Tag, inputs)
 			desired := e.opts.Adaptive.DesiredCores(work)
+			var err error
 			fleet, err = e.opts.Adaptive.Resize(e.Cluster, desired)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 
-		stats, outs, err := e.runStage(w, act, actIDs[act.Tag], wkfid, inputs, fleet, &clock)
+		stats, outs, err := e.runStage(act, actIDs[act.Tag], wkfid, inputs, fleet, clock)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		outputs[act.Tag] = outs
 		report.PerActivity = append(report.PerActivity, *stats)
@@ -316,20 +347,16 @@ func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, e
 				WorkflowID: wkfid,
 				Activity:   act.Tag,
 				Stats:      *stats,
-				Clock:      clock,
+				Clock:      *clock,
 				Engine:     e,
 			})
 		}
 	}
 
-	report.TET = clock - start
-	// Advance the simulator so billing sees the full execution span.
-	e.advanceSim(clock)
-	report.CostUSD = e.Cluster.Cost()
 	if len(order) > 0 {
 		report.Outputs = outputs[order[len(order)-1].Tag]
 	}
-	return report, nil
+	return nil
 }
 
 // estimateStageWork predicts a stage's total reference-core seconds
@@ -345,7 +372,7 @@ func (e *Engine) estimateStageWork(tag string, tuples []workflow.Tuple) float64 
 
 // runStage executes one activity over its input tuples: real bodies on
 // goroutines, virtual placement via the scheduler, provenance capture.
-func (e *Engine) runStage(w *workflow.Workflow, act *workflow.Activity, actid, wkfid int64,
+func (e *Engine) runStage(act *workflow.Activity, actid, wkfid int64,
 	inputs []workflow.Tuple, fleet []*cloud.VM, clock *float64) (*ActivityStats, []workflow.Tuple, error) {
 
 	var outcomes []activationOutcome
@@ -426,7 +453,7 @@ func (e *Engine) runStage(w *workflow.Workflow, act *workflow.Activity, actid, w
 	}
 
 	if len(activations) > 0 {
-		placements, makespan, err := e.opts.Scheduler.Schedule(*clock, activations, fleet)
+		placements, makespan, err := sched.Batch{S: e.opts.Scheduler}.Schedule(*clock, activations, fleet)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -570,7 +597,11 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 	next := 0
 	inFlight := 0
 	for w := 1; w <= workers && next < len(pending); w++ {
-		master.Send(w, tagJob, pending[next])
+		// A failed send means the communicator is gone: stop handing
+		// out work so inFlight only counts jobs a worker will answer.
+		if master.Send(w, tagJob, pending[next]) != nil {
+			break
+		}
 		next++
 		inFlight++
 	}
@@ -581,13 +612,18 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 		}
 		inFlight--
 		if next < len(pending) {
-			master.Send(m.Source, tagJob, pending[next])
+			if master.Send(m.Source, tagJob, pending[next]) != nil {
+				continue // keep draining the jobs already in flight
+			}
 			next++
 			inFlight++
 		}
 	}
 	for w := 1; w <= workers; w++ {
-		master.Send(w, tagStop, nil)
+		if master.Send(w, tagStop, nil) != nil {
+			// Communicator closed: workers unblock via Recv errors.
+			break
+		}
 	}
 	wg.Wait()
 	return outcomes
@@ -681,12 +717,13 @@ func (e *Engine) recordExtract(taskid, wkfid int64, extract map[string]string) e
 	return e.DB.InsertDocking(taskid, wkfid, rec, lig, extract["program"], feb, rmsd, nruns)
 }
 
+// parseFloatDefault parses a strict float literal (plain, decimal or
+// exponent form); anything else — empty, garbage, or a number with
+// trailing junk like "1.5abc" — yields the default. Sscanf was the
+// previous implementation and silently accepted garbage suffixes.
 func parseFloatDefault(s string, def float64) float64 {
-	if s == "" {
-		return def
-	}
-	var f float64
-	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
 		return def
 	}
 	return f

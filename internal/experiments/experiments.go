@@ -520,9 +520,11 @@ func (s *Suite) ByName(name string) (string, error) {
 		return s.KernelsText()
 	case "search":
 		return s.SearchText()
+	case "pipeline":
+		return s.PipelineText()
 	case "all":
 		return s.All()
 	default:
-		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, search, all)", name)
+		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, search, pipeline, all)", name)
 	}
 }

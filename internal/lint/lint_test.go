@@ -411,6 +411,50 @@ func jitteredChains(chains int) []float64 {
 	t.Run("worker_pool", func(t *testing.T) {
 		runCase(t, WildRand, "repro/internal/dock/fixture", "", "fixture.go", poolSrc)
 	})
+	// The engine's dataflow dispatcher is a hot path: its virtual
+	// clocks come from placements, never the wall clock, and any
+	// per-activation randomness must flow through a seeded source
+	// keyed on the tuple. Both wall-clock reads and global draws
+	// inside the dispatch loop are flagged.
+	dispatcherSrc := `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+type node struct{ readyAt, planCost float64 }
+
+func dispatch(ready []*node, seed int64) float64 {
+	frontier := 0.0
+	for _, n := range ready {
+		r := rand.New(rand.NewSource(seed ^ int64(len(ready)))) // injected source: exempt
+		jitter := r.Float64() * 0
+
+		end := n.readyAt + n.planCost + jitter
+		if end > frontier {
+			frontier = end
+		}
+	}
+	return frontier
+}
+
+func dispatchWall(ready []*node) float64 {
+	frontier := 0.0
+	for _, n := range ready {
+		now := float64(time.Now().UnixNano()) // want "in deterministic hot path"
+		tie := rand.Float64()                 // want "math/rand global source call rand.Float64"
+		end := now + n.planCost + tie
+		if end > frontier {
+			frontier = end
+		}
+	}
+	return frontier
+}
+`
+	t.Run("engine_dispatcher", func(t *testing.T) {
+		runCase(t, WildRand, "repro/internal/engine/fixture", "", "fixture.go", dispatcherSrc)
+	})
 }
 
 func TestProvPair(t *testing.T) {
@@ -469,6 +513,42 @@ func branches(db *prov.DB, now time.Time, failed bool) error {
 		{"terminal_insert_not_a_start", `
 func terminal(db *prov.DB, now time.Time) error {
 	return db.InsertActivation(1, 1, 1, prov.StatusAborted, now, now, "-", 0, "cmd")
+}
+`},
+		// The dataflow dispatcher's place() shape: one switch clause
+		// begins and closes its own activation and returns; the code
+		// after the switch has error returns before its own begin.
+		// Neither must be flagged — a clause that closed (or reported
+		// at its own return) cannot leak past the switch.
+		{"switch_clause_closes_then_fallthrough", `
+func outcome(db *prov.DB, now time.Time, kind int, stage func() error) error {
+	switch {
+	case kind == 1:
+		if err := db.BeginActivation(1, 1, 1, now, "vm", "cmd"); err != nil {
+			return err
+		}
+		return db.CloseActivation(1, prov.StatusAborted, now, 0)
+	case kind == 2:
+		return db.InsertActivation(1, 1, 1, prov.StatusFailed, now, now, "-", 0, "cmd")
+	}
+	if err := stage(); err != nil {
+		return err // pre-begin error path: nothing open yet
+	}
+	if err := db.BeginActivation(2, 1, 1, now, "vm", "cmd"); err != nil {
+		return err
+	}
+	return db.CloseActivation(2, prov.StatusFinished, now, 0)
+}
+`},
+		{"switch_clause_leaks_to_fallthrough", `
+func leakySwitch(db *prov.DB, now time.Time, kind int) error {
+	switch {
+	case kind == 1:
+		if err := db.BeginActivation(1, 1, 1, now, "vm", "cmd"); err != nil {
+			return err
+		}
+	}
+	return nil // want "return leaves provenance activation open"
 }
 `},
 		{"err_var_guard_exempt", `
@@ -537,6 +617,57 @@ func spawnRange(jobs chan int) {
 	go func() {
 		for j := range jobs {
 			_ = j
+		}
+	}()
+}
+`},
+		// The dataflow dispatcher's worker shape: a cond-wait loop that
+		// re-checks a shutdown flag and returns. The outer for {} is
+		// clean (return path); the inner cond-guarded for has a
+		// condition and is never a worker loop. A cond.Wait spin with
+		// no shutdown check stays flagged — sync.Cond.Wait alone is
+		// not an exit.
+		{"dispatcher_worker", "", `package p
+
+import "sync"
+
+type dispatcher struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []int
+	shutdown bool
+}
+
+func runJob(int) {}
+
+func (d *dispatcher) pool(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			for {
+				for len(d.queue) == 0 && !d.shutdown {
+					d.cond.Wait()
+				}
+				if d.shutdown {
+					return
+				}
+				job := d.queue[0]
+				d.queue = d.queue[1:]
+				d.mu.Unlock()
+				runJob(job)
+				d.mu.Lock()
+			}
+		}()
+	}
+}
+
+func (d *dispatcher) spin() {
+	go func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for { // want "infinite worker loop with no shutdown path"
+			d.cond.Wait()
 		}
 	}()
 }

@@ -283,7 +283,11 @@ func (c *ppChecker) clauses(bodies [][]ast.Stmt, exhaustive bool, st *ppState) {
 				allClosed = false
 			}
 		}
-		if sub.began && !st.began {
+		// Only a clause that falls through with an open activation
+		// obligates the post-switch code: a clause that closed, or that
+		// terminated (an open-at-return is already reported at the
+		// return site), cannot leak past the switch.
+		if sub.began && !sub.closed && !sub.terminated && !st.began {
 			anyBegan = true
 			beganPos = sub.beganPos
 		}

@@ -53,17 +53,58 @@ type Placement struct {
 
 // coreState tracks one worker core during planning.
 type coreState struct {
-	vm     *cloud.VM
-	core   int
-	freeAt float64
+	vm   *cloud.VM
+	core int
+}
+
+// coreKey identifies a core across Place calls (fleets may grow or
+// shrink between calls under adaptive elasticity).
+type coreKey struct {
+	vmID string
+	core int
+}
+
+// eligibleCores enumerates the usable cores of a fleet in stable
+// (fleet, core-index) order, honoring the worker cap.
+func eligibleCores(vms []*cloud.VM, cap int) ([]coreState, error) {
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("sched: no VMs available")
+	}
+	var cores []coreState
+	for _, vm := range vms {
+		for c := 0; c < vm.Type.Cores; c++ {
+			if cap > 0 && len(cores) >= cap {
+				break
+			}
+			cores = append(cores, coreState{vm: vm, core: c})
+		}
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("sched: fleet has no cores")
+	}
+	return cores, nil
+}
+
+// Scheduler is the online placement interface: the dataflow runtime
+// hands activations over one at a time, the moment they become ready,
+// and the scheduler assigns each to a core immediately (SciCumulus'
+// dynamic activation dispatch). Implementations keep per-run core
+// availability state between calls; Reset clears it for a fresh run.
+// The legacy stage-batch contract survives as the Batch adapter.
+type Scheduler interface {
+	Place(now float64, act Activation, fleet []*cloud.VM) (Placement, error)
+	Reset()
 }
 
 // Greedy is SciCumulus' native weighted-cost greedy scheduler: it
-// dispatches the heaviest remaining activation to the core with the
-// earliest effective availability. Dispatch decisions are serialized
-// through the master node, whose per-decision planning time grows
-// with the fleet size — the overhead the paper holds responsible for
-// the efficiency drop between 32 and 128 cores (Figure 9).
+// dispatches each ready activation to the core with the earliest
+// effective availability. Dispatch decisions are serialized through
+// the master node, whose per-decision planning time grows with the
+// fleet size — the overhead the paper holds responsible for the
+// efficiency drop between 32 and 128 cores (Figure 9). Cost weighting
+// enters through the order activations are offered: the dataflow
+// dispatcher drains ready work heaviest-first, and the Batch adapter
+// replays whole stages in the same LPT order.
 type Greedy struct {
 	// MasterDelayPerVM is the planning time (seconds) one dispatch
 	// decision costs per VM in the fleet. The calibrated default
@@ -72,6 +113,9 @@ type Greedy struct {
 	// WorkerCap bounds the number of usable cores (the paper's
 	// "2-core" runs lease a 4-core m3.xlarge but use 2 workers).
 	WorkerCap int
+
+	masterFree float64
+	freeAt     map[coreKey]float64
 }
 
 // NewGreedy returns the calibrated scheduler. The per-VM master delay
@@ -82,28 +126,65 @@ func NewGreedy() *Greedy {
 	return &Greedy{MasterDelayPerVM: 0.02}
 }
 
-// Schedule plans one stage: all activations are independent and may
-// run concurrently. It returns placements and the stage makespan
-// (virtual end time of the last activation, measured from startAt).
-func (g *Greedy) Schedule(startAt float64, acts []Activation, vms []*cloud.VM) ([]Placement, float64, error) {
-	if len(vms) == 0 {
-		return nil, 0, fmt.Errorf("sched: no VMs available")
+// Reset clears the placement state for a fresh run.
+func (g *Greedy) Reset() {
+	g.masterFree = 0
+	g.freeAt = nil
+}
+
+// Place assigns one ready activation to the earliest-available core
+// at or after now. Per-core start times are monotone across calls
+// (cores only fill forward), which is what keeps streamed provenance
+// timestamps monotone per core.
+func (g *Greedy) Place(now float64, a Activation, fleet []*cloud.VM) (Placement, error) {
+	cores, err := eligibleCores(fleet, g.WorkerCap)
+	if err != nil {
+		return Placement{}, err
 	}
-	var cores []coreState
-	for _, vm := range vms {
-		ready := math.Max(startAt, vm.ReadyAt)
-		for c := 0; c < vm.Type.Cores; c++ {
-			if g.WorkerCap > 0 && len(cores) >= g.WorkerCap {
-				break
-			}
-			cores = append(cores, coreState{vm: vm, core: c, freeAt: ready})
+	if g.freeAt == nil {
+		g.freeAt = make(map[coreKey]float64)
+	}
+	// The master plans this dispatch (serialized).
+	dispatchAt := math.Max(g.masterFree, now) + g.MasterDelayPerVM*float64(len(fleet))
+	g.masterFree = dispatchAt
+	// Earliest-available core (first in fleet order wins ties).
+	best := cores[0]
+	bestFree := g.coreFree(best)
+	for _, c := range cores[1:] {
+		if f := g.coreFree(c); f < bestFree {
+			best, bestFree = c, f
 		}
 	}
-	if len(cores) == 0 {
-		return nil, 0, fmt.Errorf("sched: fleet has no cores")
+	start := math.Max(math.Max(bestFree, dispatchAt), now)
+	speed := best.vm.Speed(start)
+	dur := a.IOTime
+	for _, attempt := range a.Attempts {
+		dur += attempt / speed
 	}
+	p := Placement{
+		Activation: a,
+		VMID:       best.vm.ID,
+		Core:       best.core,
+		Start:      start,
+		End:        start + dur,
+		Failures:   len(a.Attempts) - 1,
+	}
+	g.freeAt[coreKey{best.vm.ID, best.core}] = p.End
+	return p, nil
+}
 
-	// Weighted greedy: longest (believed) processing time first.
+// coreFree returns when a core next becomes available; cores not yet
+// used this run are free once their VM has booted.
+func (g *Greedy) coreFree(c coreState) float64 {
+	if f, ok := g.freeAt[coreKey{c.vm.ID, c.core}]; ok {
+		return f
+	}
+	return c.vm.ReadyAt
+}
+
+// batchOrder replays a stage heaviest-first (longest believed
+// processing time first), the SciCumulus weighted greedy.
+func (g *Greedy) batchOrder(acts []Activation) []int {
 	order := make([]int, len(acts))
 	for i := range order {
 		order[i] = i
@@ -111,45 +192,13 @@ func (g *Greedy) Schedule(startAt float64, acts []Activation, vms []*cloud.VM) (
 	sort.SliceStable(order, func(i, j int) bool {
 		return acts[order[i]].PlanningCost() > acts[order[j]].PlanningCost()
 	})
+	return order
+}
 
-	masterFree := startAt
-	masterDelay := g.MasterDelayPerVM * float64(len(vms))
-	placements := make([]Placement, 0, len(acts))
-	end := startAt
-	for _, idx := range order {
-		a := acts[idx]
-		// The master plans this dispatch (serialized).
-		dispatchAt := masterFree + masterDelay
-		masterFree = dispatchAt
-		// Earliest-available core.
-		best := 0
-		for c := 1; c < len(cores); c++ {
-			if cores[c].freeAt < cores[best].freeAt {
-				best = c
-			}
-		}
-		start := math.Max(cores[best].freeAt, dispatchAt)
-		dur := 0.0
-		speed := cores[best].vm.Speed(start)
-		for _, attempt := range a.Attempts {
-			dur += attempt / speed
-		}
-		dur += a.IOTime
-		p := Placement{
-			Activation: a,
-			VMID:       cores[best].vm.ID,
-			Core:       cores[best].core,
-			Start:      start,
-			End:        start + dur,
-			Failures:   len(a.Attempts) - 1,
-		}
-		cores[best].freeAt = p.End
-		if p.End > end {
-			end = p.End
-		}
-		placements = append(placements, p)
-	}
-	return placements, end - startAt, nil
+// Schedule is the legacy batch entry point, kept for the barrier
+// engine and the scheduler-ablation benchmarks.
+func (g *Greedy) Schedule(startAt float64, acts []Activation, vms []*cloud.VM) ([]Placement, float64, error) {
+	return Batch{S: g}.Schedule(startAt, acts, vms)
 }
 
 // RoundRobin is the naive baseline scheduler used by the ablation
@@ -157,50 +206,94 @@ func (g *Greedy) Schedule(startAt float64, acts []Activation, vms []*cloud.VM) (
 // cost weighting and no master serialization.
 type RoundRobin struct {
 	WorkerCap int
+
+	next   int
+	freeAt map[coreKey]float64
 }
 
-// Schedule implements the same contract as Greedy.Schedule.
+// Reset clears the placement state for a fresh run.
+func (rr *RoundRobin) Reset() {
+	rr.next = 0
+	rr.freeAt = nil
+}
+
+// Place deals the activation to the next core in rotation.
+func (rr *RoundRobin) Place(now float64, a Activation, fleet []*cloud.VM) (Placement, error) {
+	cores, err := eligibleCores(fleet, rr.WorkerCap)
+	if err != nil {
+		return Placement{}, err
+	}
+	if rr.freeAt == nil {
+		rr.freeAt = make(map[coreKey]float64)
+	}
+	c := cores[rr.next%len(cores)]
+	rr.next++
+	key := coreKey{c.vm.ID, c.core}
+	free, ok := rr.freeAt[key]
+	if !ok {
+		free = c.vm.ReadyAt
+	}
+	start := math.Max(free, now)
+	speed := c.vm.Speed(start)
+	dur := a.IOTime
+	for _, attempt := range a.Attempts {
+		dur += attempt / speed
+	}
+	p := Placement{
+		Activation: a, VMID: c.vm.ID, Core: c.core,
+		Start: start, End: start + dur, Failures: len(a.Attempts) - 1,
+	}
+	rr.freeAt[key] = p.End
+	return p, nil
+}
+
+// Schedule is the legacy batch entry point.
 func (rr *RoundRobin) Schedule(startAt float64, acts []Activation, vms []*cloud.VM) ([]Placement, float64, error) {
+	return Batch{S: rr}.Schedule(startAt, acts, vms)
+}
+
+// batchOrderer lets a scheduler pick the order Batch replays a stage
+// in; schedulers without the method place in arrival order.
+type batchOrderer interface {
+	batchOrder(acts []Activation) []int
+}
+
+// Batch adapts an online Scheduler back to the legacy stage-barrier
+// contract: placement state is reset (every stage starts with an idle
+// fleet — that is what a barrier means), the stage's activations are
+// placed in the scheduler's batch order, and the stage makespan
+// (virtual end of the last activation, measured from startAt) is
+// returned. The barrier engine and the scheduler ablations run
+// through this adapter.
+type Batch struct {
+	S Scheduler
+}
+
+// Schedule plans one stage: all activations are independent and may
+// run concurrently.
+func (b Batch) Schedule(startAt float64, acts []Activation, vms []*cloud.VM) ([]Placement, float64, error) {
 	if len(vms) == 0 {
 		return nil, 0, fmt.Errorf("sched: no VMs available")
 	}
-	var cores []coreState
-	for _, vm := range vms {
-		ready := math.Max(startAt, vm.ReadyAt)
-		for c := 0; c < vm.Type.Cores; c++ {
-			if rr.WorkerCap > 0 && len(cores) >= rr.WorkerCap {
-				break
-			}
-			cores = append(cores, coreState{vm: vm, core: c, freeAt: ready})
-		}
+	b.S.Reset()
+	order := make([]int, len(acts))
+	for i := range order {
+		order[i] = i
 	}
-	if len(cores) == 0 {
-		return nil, 0, fmt.Errorf("sched: fleet has no cores")
+	if o, ok := b.S.(batchOrderer); ok {
+		order = o.batchOrder(acts)
 	}
 	placements := make([]Placement, 0, len(acts))
 	end := startAt
-	for i, a := range acts {
-		cs := &cores[i%len(cores)]
-		start := cs.freeAt
-		speed := cs.vm.Speed(start)
-		dur := a.IOTime
-		for _, attempt := range a.Attempts {
-			dur += attempt / speed
+	for _, idx := range order {
+		p, err := b.S.Place(startAt, acts[idx], vms)
+		if err != nil {
+			return nil, 0, err
 		}
-		p := Placement{
-			Activation: a, VMID: cs.vm.ID, Core: cs.core,
-			Start: start, End: start + dur, Failures: len(a.Attempts) - 1,
-		}
-		cs.freeAt = p.End
 		if p.End > end {
 			end = p.End
 		}
 		placements = append(placements, p)
 	}
 	return placements, end - startAt, nil
-}
-
-// Scheduler is the planning interface shared by Greedy and RoundRobin.
-type Scheduler interface {
-	Schedule(startAt float64, acts []Activation, vms []*cloud.VM) ([]Placement, float64, error)
 }

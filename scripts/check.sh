@@ -27,4 +27,7 @@ go test -run '^$' -bench . -benchtime=1x \
 echo "==> search benchmark smoke (dockbench -exp search -quick)"
 go run ./cmd/dockbench -exp search -quick -benchout ''
 
+echo "==> pipeline runtime benchmark smoke (-benchtime=1x)"
+go test -run '^$' -bench BenchmarkPipelineRuntime -benchtime=1x .
+
 echo "check: all gates passed"
