@@ -14,6 +14,9 @@
 //	dockbench -exp pipeline     # stage-barrier vs pipelined dataflow
 //	                            # runtime (virtual TET), also written
 //	                            # to -benchout as JSON
+//	dockbench -exp prov         # provenance-store ingest/close/query
+//	                            # benchmarks, also written to
+//	                            # -benchout as JSON
 package main
 
 import (
@@ -33,10 +36,10 @@ type jsonReport interface {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search, pipeline or all")
+		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search, pipeline, prov or all")
 		quick    = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
 		benchout = flag.String("benchout", "auto",
-			"JSON output path for -exp kernels/search/pipeline; \"auto\" picks BENCH_<exp>.json, empty skips")
+			"JSON output path for -exp kernels/search/pipeline/prov; \"auto\" picks BENCH_<exp>.json, empty skips")
 	)
 	flag.Parse()
 	s := &experiments.Suite{Quick: *quick}
@@ -50,6 +53,8 @@ func main() {
 		rep, err = s.Search()
 	case "pipeline":
 		rep, err = s.Pipeline()
+	case "prov":
+		rep, err = s.Prov()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dockbench:", err)

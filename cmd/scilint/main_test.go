@@ -34,6 +34,17 @@ func TestSickFixtureFailsTheGate(t *testing.T) {
 	if !strings.Contains(out, "scilint: ") || !strings.Contains(out, "finding(s):") {
 		t.Errorf("output missing summary line:\n%s", out)
 	}
+	// The provenance-store patterns: a snapshot RLock with no release
+	// and a flush that blocks on a channel inside the critical section.
+	for _, msg := range []string{
+		"t.mu.RLock() with no matching unlock",
+		"channel send while t.mu is held",
+		"infinite worker loop with no shutdown path",
+	} {
+		if !strings.Contains(out, msg) {
+			t.Errorf("output missing %q finding:\n%s", msg, out)
+		}
+	}
 	// Every finding line leads with file:line:col into a fixture file.
 	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
 		if strings.HasPrefix(line, "scilint: ") {

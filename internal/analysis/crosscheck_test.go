@@ -1,0 +1,16 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/prov"
+)
+
+// TestMain turns on the prov query cross-check, so every Figure-10
+// query this package's tests issue is executed by both the indexed
+// planner and the reference executor and pinned identical.
+func TestMain(m *testing.M) {
+	prov.CrossCheck = true
+	os.Exit(m.Run())
+}

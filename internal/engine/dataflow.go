@@ -386,7 +386,7 @@ func (d *dataflow) place(n *dfNode) error {
 		// Steering abort: recorded, zero cost.
 		st.Aborted++
 		start := e.vt(n.readyAt)
-		return e.DB.InsertActivation(taskid, actid, d.wkfid, prov.StatusAborted,
+		return e.app.InsertActivation(taskid, actid, d.wkfid, prov.StatusAborted,
 			start, start, "-", 0, cmd+" # aborted: "+n.aborted)
 	case n.err != nil && errors.Is(n.err, ErrLoop):
 		// Looping state: charge the loop timeout, then abort.
@@ -398,16 +398,16 @@ func (d *dataflow) place(n *dfNode) error {
 			return err
 		}
 		d.observePlacement(n.actIdx, p)
-		if err := e.DB.BeginActivation(taskid, actid, d.wkfid, e.vt(p.Start), p.VMID, cmd); err != nil {
+		if err := e.app.BeginActivation(taskid, actid, d.wkfid, e.vt(p.Start), p.VMID, cmd); err != nil {
 			return err
 		}
-		return e.DB.CloseActivation(taskid, prov.StatusAborted, e.vt(p.End), int64(p.Failures))
+		return e.app.CloseActivation(taskid, prov.StatusAborted, e.vt(p.End), int64(p.Failures))
 	case n.err != nil:
 		// Genuine failure: the tuple is dropped; provenance keeps the
 		// error for the scientist's queries.
 		st.Aborted++
 		start := e.vt(n.readyAt)
-		return e.DB.InsertActivation(taskid, actid, d.wkfid, prov.StatusFailed,
+		return e.app.InsertActivation(taskid, actid, d.wkfid, prov.StatusFailed,
 			start, start, "-", 0, cmd+" # error: "+n.err.Error())
 	}
 
@@ -440,10 +440,10 @@ func (d *dataflow) place(n *dfNode) error {
 	}
 	// PROV-Wf lifecycle: the row is born RUNNING and closed with the
 	// terminal status (provpair enforces the pair).
-	if err := e.DB.BeginActivation(taskid, actid, d.wkfid, e.vt(p.Start), p.VMID, cmd); err != nil {
+	if err := e.app.BeginActivation(taskid, actid, d.wkfid, e.vt(p.Start), p.VMID, cmd); err != nil {
 		return err
 	}
-	if err := e.DB.CloseActivation(taskid, prov.StatusFinished, e.vt(p.End), int64(p.Failures)); err != nil {
+	if err := e.app.CloseActivation(taskid, prov.StatusFinished, e.vt(p.End), int64(p.Failures)); err != nil {
 		return err
 	}
 	for _, f := range n.result.Files {
@@ -451,7 +451,7 @@ func (d *dataflow) place(n *dfNode) error {
 		e.nextFile++
 		fileid := e.nextFile
 		e.mu.Unlock()
-		if err := e.DB.InsertFile(fileid, taskid, actid, d.wkfid,
+		if err := e.app.InsertFile(fileid, taskid, actid, d.wkfid,
 			f.Name, int64(len(f.Content)), f.Dir); err != nil {
 			return err
 		}
@@ -516,6 +516,11 @@ func (d *dataflow) maybeClose(ai int) error {
 			// stage; StageSecs reports its busy span instead.
 			st.StageSecs = d.actEnd[i] - d.actStart[i]
 			if d.e.opts.OnStageComplete != nil {
+				// The steering hook may query Engine.DB; make every
+				// placement recorded so far visible first.
+				if err := d.e.app.Flush(); err != nil {
+					return err
+				}
 				d.e.opts.OnStageComplete(StageEvent{
 					WorkflowID: d.wkfid,
 					Activity:   d.order[i].Tag,

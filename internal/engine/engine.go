@@ -104,6 +104,13 @@ type Engine struct {
 	Sim     *cloud.Sim
 	Cluster *cloud.Cluster
 
+	// app batches the per-placement provenance writes (activation
+	// lifecycle, hfile, ddocking) into InsertBatch flushes. Flush
+	// points are deterministic — buffer cap, before every
+	// OnStageComplete steering hook, end of run — so runtime queries
+	// and final table contents match unbatched writes exactly.
+	app *prov.Appender
+
 	mu       sync.Mutex
 	nextWkf  int64
 	nextAct  int64
@@ -170,6 +177,7 @@ func New(opts Options) (*Engine, error) {
 		FS:      simfs.New(),
 		Sim:     sim,
 		Cluster: cloud.NewCluster(sim),
+		app:     prov.NewAppender(db, 0),
 		histSum: make(map[string]float64),
 		histN:   make(map[string]int),
 	}, nil
@@ -284,6 +292,11 @@ func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, e
 	} else {
 		err = e.runDataflow(order, actIDs, wkfid, input, fleet, report, &clock)
 	}
+	// Publish any still-buffered provenance; even a failed run keeps
+	// whatever rows it accumulated, as direct writes would have.
+	if ferr := e.app.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -343,6 +356,11 @@ func (e *Engine) runBarrier(order []*workflow.Activity, actIDs map[string]int64,
 		report.Failures += stats.Failures
 		report.Aborted += stats.Aborted
 		if e.opts.OnStageComplete != nil {
+			// The steering hook may query Engine.DB; make this stage's
+			// provenance visible first.
+			if err := e.app.Flush(); err != nil {
+				return err
+			}
 			e.opts.OnStageComplete(StageEvent{
 				WorkflowID: wkfid,
 				Activity:   act.Tag,
@@ -406,7 +424,7 @@ func (e *Engine) runStage(act *workflow.Activity, actid, wkfid int64,
 			// Steering abort: recorded, zero cost.
 			stats.Aborted++
 			start := e.vt(*clock)
-			if err := e.DB.InsertActivation(taskid, actid, wkfid, prov.StatusAborted,
+			if err := e.app.InsertActivation(taskid, actid, wkfid, prov.StatusAborted,
 				start, start, "-", 0, cmd+" # aborted: "+oc.aborted); err != nil {
 				return nil, nil, err
 			}
@@ -424,7 +442,7 @@ func (e *Engine) runStage(act *workflow.Activity, actid, wkfid int64,
 			// the error for the scientist's queries.
 			stats.Aborted++
 			start := e.vt(*clock)
-			if err := e.DB.InsertActivation(taskid, actid, wkfid, prov.StatusFailed,
+			if err := e.app.InsertActivation(taskid, actid, wkfid, prov.StatusFailed,
 				start, start, "-", 0, cmd+" # error: "+oc.err.Error()); err != nil {
 				return nil, nil, err
 			}
@@ -471,11 +489,11 @@ func (e *Engine) runStage(act *workflow.Activity, actid, wkfid int64,
 			}
 			// PROV-Wf lifecycle: the row is born RUNNING and closed
 			// with the terminal status (provpair enforces the pair).
-			if err := e.DB.BeginActivation(p.Activation.ID, actid, wkfid,
+			if err := e.app.BeginActivation(p.Activation.ID, actid, wkfid,
 				e.vt(p.Start), p.VMID, cmd); err != nil {
 				return nil, nil, err
 			}
-			if err := e.DB.CloseActivation(p.Activation.ID, status,
+			if err := e.app.CloseActivation(p.Activation.ID, status,
 				e.vt(p.End), int64(p.Failures)); err != nil {
 				return nil, nil, err
 			}
@@ -493,7 +511,7 @@ func (e *Engine) runStage(act *workflow.Activity, actid, wkfid int64,
 				e.nextFile++
 				fileid := e.nextFile
 				e.mu.Unlock()
-				if err := e.DB.InsertFile(fileid, p.Activation.ID, actid, wkfid,
+				if err := e.app.InsertFile(fileid, p.Activation.ID, actid, wkfid,
 					f.Name, int64(len(f.Content)), f.Dir); err != nil {
 					return nil, nil, err
 				}
@@ -714,7 +732,7 @@ func (e *Engine) recordExtract(taskid, wkfid int64, extract map[string]string) e
 	feb := parseFloatDefault(extract["feb"], 0)
 	rmsd := parseFloatDefault(extract["rmsd"], 0)
 	nruns := int64(parseFloatDefault(extract["nruns"], 0))
-	return e.DB.InsertDocking(taskid, wkfid, rec, lig, extract["program"], feb, rmsd, nruns)
+	return e.app.InsertDocking(taskid, wkfid, rec, lig, extract["program"], feb, rmsd, nruns)
 }
 
 // parseFloatDefault parses a strict float literal (plain, decimal or

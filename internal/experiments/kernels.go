@@ -37,6 +37,7 @@ type KernelBench struct {
 type KernelReport struct {
 	Workload   string        `json:"workload"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []KernelBench `json:"benchmarks"`
 }
 
@@ -49,7 +50,7 @@ func (r *KernelReport) JSON() ([]byte, error) {
 func (r *KernelReport) String() string {
 	var sb strings.Builder
 	sb.WriteString("KERNEL BENCHMARKS (radial tables vs analytic)\n")
-	fmt.Fprintf(&sb, "workload: %s, GOMAXPROCS=%d\n", r.Workload, r.GoMaxProcs)
+	fmt.Fprintf(&sb, "workload: %s, GOMAXPROCS=%d, NumCPU=%d\n", r.Workload, r.GoMaxProcs, r.NumCPU)
 	fmt.Fprintf(&sb, "%-28s %14s %12s %10s\n", "kernel", "ns/op", "allocs/op", "speedup")
 	for _, b := range r.Benchmarks {
 		sp := ""
@@ -141,6 +142,7 @@ func (s *Suite) Kernels() (*KernelReport, error) {
 		Workload: fmt.Sprintf("receptor 2HHN (%d atoms), ligand 0E6, %d³ grid @ %.2f Å",
 			prec.NumAtoms(), npts, spec.Spacing),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	add := func(name string, baselineNs float64, iters int, fn func() error) (float64, error) {
 		var innerErr error

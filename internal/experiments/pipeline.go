@@ -10,6 +10,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -38,8 +39,10 @@ type PipelineBench struct {
 
 // PipelineReport is the full barrier-vs-pipelined result set.
 type PipelineReport struct {
-	Workload string `json:"workload"`
-	Pairs    int    `json:"pairs"`
+	Workload   string `json:"workload"`
+	Pairs      int    `json:"pairs"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
 	// Note qualifies the numbers: virtual-time comparison, wall-clock
 	// fan-out not observable on single-CPU hosts.
 	Note    string          `json:"note"`
@@ -55,7 +58,8 @@ func (r *PipelineReport) JSON() ([]byte, error) {
 func (r *PipelineReport) String() string {
 	var sb strings.Builder
 	sb.WriteString("PIPELINE BENCHMARKS (stage-barrier vs dataflow runtime, virtual TET)\n")
-	fmt.Fprintf(&sb, "workload: %s (%d pairs)\n", r.Workload, r.Pairs)
+	fmt.Fprintf(&sb, "workload: %s (%d pairs), GOMAXPROCS=%d, NumCPU=%d\n",
+		r.Workload, r.Pairs, r.GoMaxProcs, r.NumCPU)
 	fmt.Fprintf(&sb, "note: %s\n", r.Note)
 	fmt.Fprintf(&sb, "%6s %9s %14s %14s %8s %12s %10s\n",
 		"cores", "failures", "barrier (s)", "pipelined (s)", "speedup", "activations", "recovered")
@@ -91,8 +95,10 @@ func (s *Suite) Pipeline() (*PipelineReport, error) {
 		coresList = []int{4, 8, 32}
 	}
 	rep := &PipelineReport{
-		Workload: "SciDock-AD4 timing chain, calibrated cost model, HgGuard on",
-		Pairs:    ds.NumPairs(),
+		Workload:   "SciDock-AD4 timing chain, calibrated cost model, HgGuard on",
+		Pairs:      ds.NumPairs(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Note: "virtual-time comparison (deterministic); on single-CPU hosts the " +
 			"wall-clock fan-out of activity bodies is ~1.0x (ROADMAP open item), " +
 			"the virtual TET deltas are unaffected. On this uniform-cost chain " +

@@ -54,3 +54,38 @@ func StartWorker(c *Counter, jobs <-chan struct{}) {
 		}
 	}()
 }
+
+// TableShard is the disciplined counterpart of the sick fixture's
+// shard: per-table RWMutex, snapshot under a paired read lock, flush
+// that moves the batch out of the critical section before blocking.
+type TableShard struct {
+	mu   sync.RWMutex
+	rows []int
+}
+
+// Snapshot releases the read lock on every path.
+func (t *TableShard) Snapshot() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// Flush detaches the batch under the lock and sends it after the
+// release, so a slow consumer never holds up writers.
+func (t *TableShard) Flush(out chan []int) {
+	t.mu.Lock()
+	batch := t.rows
+	t.rows = nil
+	t.mu.Unlock()
+	out <- batch
+}
+
+// StartFlusher ranges over a closable tick channel, so closing ticks
+// shuts the flusher down.
+func (t *TableShard) StartFlusher(ticks <-chan struct{}, out chan []int) {
+	go func() {
+		for range ticks {
+			t.Flush(out)
+		}
+	}()
+}

@@ -58,3 +58,39 @@ func StartWorker(c *Counter) {
 		}
 	}()
 }
+
+// TableShard mirrors the provenance store's per-table layout: a row
+// slice guarded by an RWMutex, snapshotted by readers and drained by a
+// buffered-appender flush. The three methods below get each half of
+// that protocol wrong.
+type TableShard struct {
+	mu   sync.RWMutex
+	rows []int
+}
+
+// SnapshotLeak takes the read lock for a zero-copy snapshot and never
+// releases it, wedging every later flush (mutexheld, error).
+func (t *TableShard) SnapshotLeak() []int {
+	t.mu.RLock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// FlushNotify hands the drained batch to the consumer while still
+// holding the table lock; a slow consumer convoys every writer
+// (mutexheld, warn).
+func (t *TableShard) FlushNotify(out chan []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out <- t.rows
+	t.rows = nil
+}
+
+// StartFlusher spawns a background flusher that can never be stopped
+// (ctxleak, warn).
+func (t *TableShard) StartFlusher(out chan []int) {
+	go func() {
+		for {
+			t.FlushNotify(out)
+		}
+	}()
+}

@@ -2,7 +2,9 @@ package prov
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -13,6 +15,13 @@ type Result struct {
 	Rows    [][]Value
 }
 
+// CrossCheck, when true, makes every Query run twice — once through
+// the indexed planner and once through executeReference — on the same
+// snapshot, and fail loudly on any divergence. Tests turn it on so
+// every corpus query doubles as a planner-equivalence check; it is off
+// in production (it defeats the planner's purpose).
+var CrossCheck = false
+
 // Query parses and executes a SQL statement against the database,
 // taking a consistent snapshot so it can run while the workflow is
 // still executing (runtime provenance queries, §IV.B).
@@ -21,30 +30,72 @@ func (db *DB) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(q)
+	tables, err := db.snapshot(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := executePlanned(tables, q)
+	if CrossCheck {
+		ref, rerr := executeReference(tables, q)
+		if cerr := compareResults(res, err, ref, rerr); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, err
 }
 
-// boundTable is a snapshot of one FROM entry.
+// compareResults reports a divergence between the planner and the
+// reference executor. Both failing counts as agreement: the planner
+// folds aggregates incrementally and stops at LIMIT, so when a query
+// errors, which of several errors surfaces first may differ. Empty and
+// nil row sets also count as equal (the executors reach length zero by
+// different paths).
+func compareResults(p *Result, perr error, r *Result, rerr error) error {
+	if (perr != nil) != (rerr != nil) {
+		return fmt.Errorf("prov: planner/reference divergence: planner err=%v, reference err=%v", perr, rerr)
+	}
+	if perr != nil {
+		return nil
+	}
+	if !reflect.DeepEqual(p.Columns, r.Columns) {
+		return fmt.Errorf("prov: planner/reference divergence: columns %v vs %v", p.Columns, r.Columns)
+	}
+	if len(p.Rows) != len(r.Rows) {
+		return fmt.Errorf("prov: planner/reference divergence: %d rows vs %d rows", len(p.Rows), len(r.Rows))
+	}
+	for i := range p.Rows {
+		if !reflect.DeepEqual(p.Rows[i], r.Rows[i]) {
+			return fmt.Errorf("prov: planner/reference divergence at row %d: %v vs %v", i, p.Rows[i], r.Rows[i])
+		}
+	}
+	return nil
+}
+
+// boundTable is a zero-copy snapshot of one FROM entry.
 type boundTable struct {
 	alias string
 	table *Table
-	rows  [][]Value
+	snap  tableSnap
 }
 
+// snapshot captures a consistent zero-copy view of every table the
+// query references. A self-join binds both aliases to one capture.
 func (db *DB) snapshot(q *query) ([]boundTable, error) {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []boundTable
+	tabs := make([]*Table, 0, len(q.From))
 	for _, tr := range q.From {
 		t, err := db.table(tr.Name)
 		if err != nil {
+			db.mu.RUnlock()
 			return nil, err
 		}
-		rows := make([][]Value, len(t.Rows))
-		for i, r := range t.Rows {
-			rows[i] = append([]Value(nil), r...)
-		}
-		out = append(out, boundTable{alias: strings.ToLower(tr.Alias), table: t, rows: rows})
+		tabs = append(tabs, t)
+	}
+	db.mu.RUnlock()
+	snaps := captureTables(tabs)
+	out := make([]boundTable, len(tabs))
+	for i, t := range tabs {
+		out[i] = boundTable{alias: strings.ToLower(q.From[i].Alias), table: t, snap: snaps[t]}
 	}
 	return out, nil
 }
@@ -52,13 +103,14 @@ func (db *DB) snapshot(q *query) ([]boundTable, error) {
 // env binds aliases to current rows during evaluation.
 type env struct {
 	tables []boundTable
-	rows   []int // index into tables[i].rows; -1 = unbound
+	rows   []int // row id in tables[i].snap; -1 = unbound
 }
 
 func (e *env) lookup(ref colRef) (Value, error) {
 	if ref.Table != "" {
 		at := strings.ToLower(ref.Table)
-		for i, bt := range e.tables {
+		for i := range e.tables {
+			bt := &e.tables[i]
 			if bt.alias == at {
 				if e.rows[i] < 0 {
 					return nil, fmt.Errorf("prov: alias %q not bound", ref.Table)
@@ -67,14 +119,15 @@ func (e *env) lookup(ref colRef) (Value, error) {
 				if ci < 0 {
 					return nil, fmt.Errorf("prov: column %q not in table %q", ref.Col, bt.table.Name)
 				}
-				return bt.rows[e.rows[i]][ci], nil
+				return bt.snap.row(e.rows[i])[ci], nil
 			}
 		}
 		return nil, fmt.Errorf("prov: unknown table alias %q", ref.Table)
 	}
 	found := -1
 	var v Value
-	for i, bt := range e.tables {
+	for i := range e.tables {
+		bt := &e.tables[i]
 		ci := bt.table.ColumnIndex(ref.Col)
 		if ci < 0 {
 			continue
@@ -86,7 +139,7 @@ func (e *env) lookup(ref colRef) (Value, error) {
 		if e.rows[i] < 0 {
 			return nil, fmt.Errorf("prov: column %q referenced before its table is bound", ref.Col)
 		}
-		v = bt.rows[e.rows[i]][ci]
+		v = bt.snap.row(e.rows[i])[ci]
 	}
 	if found < 0 {
 		return nil, fmt.Errorf("prov: unknown column %q", ref.Col)
@@ -143,19 +196,10 @@ func conjuncts(b boolExpr) []boolExpr {
 	return []boolExpr{b}
 }
 
-// execute runs the compiled query.
-func (db *DB) execute(q *query) (*Result, error) {
-	tables, err := db.snapshot(q)
-	if err != nil {
-		return nil, err
-	}
-	e := &env{tables: tables, rows: make([]int, len(tables))}
-	for i := range e.rows {
-		e.rows[i] = -1
-	}
-
-	// Predicate pushdown: a conjunct fires at the first join depth
-	// where all its aliases are bound.
+// assignConjuncts performs predicate pushdown: a conjunct fires at the
+// first join depth where all its aliases are bound. Planner and
+// reference share this so they prune identically.
+func assignConjuncts(tables []boundTable, q *query) [][]boolExpr {
 	condAt := make([][]boolExpr, len(tables))
 	for _, c := range conjuncts(q.Where) {
 		need := map[string]bool{}
@@ -163,14 +207,586 @@ func (db *DB) execute(q *query) (*Result, error) {
 		depth := len(tables) - 1
 		if !need[""] { // bare columns need everything bound
 			depth = 0
-			for d, bt := range tables {
-				if need[bt.alias] && d > depth {
+			for d := range tables {
+				if need[tables[d].alias] && d > depth {
 					depth = d
 				}
 			}
 		}
 		condAt[depth] = append(condAt[depth], c)
 	}
+	return condAt
+}
+
+// resolveRef resolves a column reference to (table index, column
+// index) using the same alias/bare-column rules as env.lookup, minus
+// the binding checks. Ambiguous or unknown references report !ok — the
+// planner then simply doesn't use the reference as an index probe and
+// the runtime evaluation surfaces the error exactly as the reference
+// executor would.
+func resolveRef(tables []boundTable, ref colRef) (ti, ci int, ok bool) {
+	if ref.Table != "" {
+		at := strings.ToLower(ref.Table)
+		for i := range tables {
+			if tables[i].alias != at {
+				continue
+			}
+			c := tables[i].table.ColumnIndex(ref.Col)
+			if c < 0 {
+				return 0, 0, false
+			}
+			return i, c, true
+		}
+		return 0, 0, false
+	}
+	found, fc := -1, -1
+	for i := range tables {
+		c := tables[i].table.ColumnIndex(ref.Col)
+		if c < 0 {
+			continue
+		}
+		if found >= 0 {
+			return 0, 0, false
+		}
+		found, fc = i, c
+	}
+	if found < 0 {
+		return 0, 0, false
+	}
+	return found, fc, true
+}
+
+// planSeed is an index probe for one join depth: instead of scanning
+// the whole table, enumerate only the rows whose indexed column ci
+// equals the probe value (a literal, or a column of an earlier-bound
+// table — a hash equi-join).
+type planSeed struct {
+	ok    bool
+	ci    int
+	lit   Value // literal probe (litOK)
+	litOK bool
+	srcT  int // earlier-bound table supplying the probe value (!litOK)
+	srcC  int
+}
+
+// planSeeds picks at most one index seed per depth. Only the FIRST
+// conjunct at a depth is eligible: for a row the index filters out,
+// the reference executor would have evaluated nothing but that one
+// equality (which cannot error) before rejecting the row, so skipping
+// it can never change error behavior. All conjuncts — including the
+// seed — remain as residual filters, so a seed can only ever shrink
+// the scan, never change the result.
+func planSeeds(tables []boundTable, condAt [][]boolExpr) []planSeed {
+	seeds := make([]planSeed, len(tables))
+	for d := range tables {
+		if len(condAt[d]) == 0 {
+			continue
+		}
+		bc, ok := condAt[d][0].(boolCond)
+		if !ok || bc.C.Op != "=" || bc.C.Neg {
+			continue
+		}
+		if s, ok := trySeed(tables, d, bc.C.L, bc.C.R); ok {
+			seeds[d] = s
+			continue
+		}
+		if s, ok := trySeed(tables, d, bc.C.R, bc.C.L); ok {
+			seeds[d] = s
+		}
+	}
+	return seeds
+}
+
+// trySeed checks one orientation of an equality conjunct: probe must
+// be an indexed column of depth-d's table, val a literal or a column
+// bound strictly earlier.
+func trySeed(tables []boundTable, d int, probe, val expr) (planSeed, bool) {
+	ref, ok := probe.(colRef)
+	if !ok {
+		return planSeed{}, false
+	}
+	ti, ci, ok := resolveRef(tables, ref)
+	if !ok || ti != d || !tables[d].snap.hasIndex(ci) {
+		return planSeed{}, false
+	}
+	switch v := val.(type) {
+	case litNum:
+		return planSeed{ok: true, ci: ci, lit: v.V, litOK: true}, true
+	case litStr:
+		return planSeed{ok: true, ci: ci, lit: v.V, litOK: true}, true
+	case colRef:
+		sti, sci, ok := resolveRef(tables, v)
+		if !ok || sti >= d {
+			return planSeed{}, false
+		}
+		return planSeed{ok: true, ci: ci, srcT: sti, srcC: sci}, true
+	}
+	return planSeed{}, false
+}
+
+// executePlanned is the indexed executor: same join order and residual
+// predicates as executeReference, but each depth may enumerate index
+// candidates instead of the full table, results stream into a sink
+// instead of materializing the joined combinations, and LIMIT without
+// ORDER BY stops the enumeration early. Candidates are sorted
+// ascending, so output row order matches the reference exactly.
+func executePlanned(tables []boundTable, q *query) (*Result, error) {
+	e := &env{tables: tables, rows: make([]int, len(tables))}
+	for i := range e.rows {
+		e.rows[i] = -1
+	}
+	condAt := assignConjuncts(tables, q)
+	seeds := planSeeds(tables, condAt)
+
+	grouped := len(q.GroupBy) > 0
+	if !grouped {
+		for _, it := range q.Select {
+			if hasAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, it := range q.Select {
+		res.Columns = append(res.Columns, it.Alias)
+	}
+
+	// sink consumes one fully-bound combination (true = stop early);
+	// finish runs after enumeration to emit buffered output.
+	var sink func() (bool, error)
+	var finish func() error
+
+	switch {
+	case grouped:
+		sink, finish = groupedSink(e, q, res)
+	case len(q.OrderBy) > 0:
+		sink, finish = sortedSink(e, q, res)
+	default:
+		sink = func() (bool, error) {
+			if q.Limit >= 0 && len(res.Rows) >= q.Limit {
+				return true, nil
+			}
+			vals := make([]Value, 0, len(q.Select))
+			for _, it := range q.Select {
+				v, err := evalExpr(e, it.Expr)
+				if err != nil {
+					return false, err
+				}
+				vals = append(vals, v)
+			}
+			res.Rows = append(res.Rows, vals)
+			return q.Limit >= 0 && len(res.Rows) >= q.Limit, nil
+		}
+		finish = func() error { return nil }
+	}
+
+	bufs := make([][]int, len(tables))
+	var recurse func(depth int) (bool, error)
+	recurse = func(depth int) (bool, error) {
+		if depth == len(tables) {
+			return sink()
+		}
+		// Candidate rows for this depth: index probe when a seed
+		// applies and the index is still snapshot-valid, full scan
+		// otherwise.
+		var cand []int
+		useIdx := false
+		if s := seeds[depth]; s.ok {
+			key := s.lit
+			if !s.litOK {
+				key = tables[s.srcT].snap.row(e.rows[s.srcT])[s.srcC]
+			}
+			if ids, ok := tables[depth].snap.lookupAppend(bufs[depth][:0], s.ci, key); ok {
+				sort.Ints(ids)
+				bufs[depth] = ids
+				cand, useIdx = ids, true
+			}
+		}
+		total := tables[depth].snap.n
+		if useIdx {
+			total = len(cand)
+		}
+		for k := 0; k < total; k++ {
+			ri := k
+			if useIdx {
+				ri = cand[k]
+			}
+			e.rows[depth] = ri
+			ok := true
+			for _, c := range condAt[depth] {
+				pass, err := evalBool(e, c)
+				if err != nil {
+					return false, err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if stop, err := recurse(depth + 1); err != nil || stop {
+					return stop, err
+				}
+			}
+		}
+		e.rows[depth] = -1
+		return false, nil
+	}
+	if _, err := recurse(0); err != nil {
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sortedSink buffers projected rows plus their ORDER BY keys, sorting
+// and applying LIMIT once enumeration completes.
+func sortedSink(e *env, q *query, res *Result) (func() (bool, error), func() error) {
+	type outRow struct {
+		vals []Value
+		keys []Value
+	}
+	var rows []outRow
+	sink := func() (bool, error) {
+		vals := make([]Value, 0, len(q.Select))
+		for _, it := range q.Select {
+			v, err := evalExpr(e, it.Expr)
+			if err != nil {
+				return false, err
+			}
+			vals = append(vals, v)
+		}
+		keys := make([]Value, 0, len(q.OrderBy))
+		for _, ob := range q.OrderBy {
+			v, err := evalExpr(e, ob.Expr)
+			if err != nil {
+				return false, err
+			}
+			keys = append(keys, v)
+		}
+		rows = append(rows, outRow{vals, keys})
+		return false, nil
+	}
+	finish := func() error {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return orderLess(q.OrderBy, rows[i].keys, rows[j].keys)
+		})
+		for _, r := range rows {
+			res.Rows = append(res.Rows, r.vals)
+		}
+		if q.Limit >= 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+		return nil
+	}
+	return sink, finish
+}
+
+// gexpr is a grouped select/order expression compiled for streaming
+// aggregation: aggregate calls become slots in a per-group aggState
+// array, arithmetic over aggregates stays a tree, and everything else
+// (including non-aggregate functions whose arguments contain
+// aggregates, which the reference evaluates — and faults — on the
+// group's first row) is a leaf evaluated on the first row.
+type gexpr interface{}
+
+type gAgg struct{ i int }
+
+type gBin struct {
+	op   string
+	l, r gexpr
+}
+
+type gLeaf struct{ ex expr }
+
+func compileG(ex expr, aggs *[]funcCall) gexpr {
+	switch x := ex.(type) {
+	case funcCall:
+		switch x.Name {
+		case "min", "max", "sum", "avg", "count":
+			*aggs = append(*aggs, x)
+			return gAgg{i: len(*aggs) - 1}
+		}
+	case binExpr:
+		if hasAggregate(x) {
+			return gBin{op: x.Op, l: compileG(x.L, aggs), r: compileG(x.R, aggs)}
+		}
+	}
+	return gLeaf{ex: ex}
+}
+
+// aggState folds one aggregate incrementally; its fold/final split
+// replicates foldAggregate exactly (nil skipping, DISTINCT via the
+// formatted value, sum/avg numeric check, empty-set results).
+type aggState struct {
+	f     funcCall
+	seen  map[string]bool
+	acc   float64
+	n     int
+	first bool
+	best  Value
+}
+
+func (a *aggState) fold(e *env) error {
+	if a.f.Star || len(a.f.Args) != 1 {
+		// COUNT(*) needs no per-row work; wrong arity is reported by
+		// final(), like the reference (which only faults for groups
+		// that are actually emitted).
+		return nil
+	}
+	v, err := evalExpr(e, a.f.Args[0])
+	if err != nil {
+		return err
+	}
+	if a.f.Name == "count" && a.f.Distinct {
+		if v != nil {
+			if a.seen == nil {
+				a.seen = map[string]bool{}
+			}
+			a.seen[formatValue(v)] = true
+		}
+		return nil
+	}
+	if v == nil {
+		return nil
+	}
+	a.n++
+	switch a.f.Name {
+	case "min":
+		if a.first || compareValues(v, a.best) < 0 {
+			a.best = v
+		}
+	case "max":
+		if a.first || compareValues(v, a.best) > 0 {
+			a.best = v
+		}
+	case "sum", "avg":
+		fv, ok := numeric(v)
+		if !ok {
+			return fmt.Errorf("prov: %s over non-numeric value %v", a.f.Name, v)
+		}
+		a.acc += fv
+	}
+	a.first = false
+	return nil
+}
+
+func (a *aggState) final(combos int) (Value, error) {
+	if a.f.Name == "count" && a.f.Star {
+		return int64(combos), nil
+	}
+	if len(a.f.Args) != 1 {
+		return nil, fmt.Errorf("prov: %s needs exactly one argument", a.f.Name)
+	}
+	if a.f.Name == "count" && a.f.Distinct {
+		return int64(len(a.seen)), nil
+	}
+	switch a.f.Name {
+	case "count":
+		return int64(a.n), nil
+	case "min", "max":
+		return a.best, nil
+	case "sum":
+		if a.n == 0 {
+			return nil, nil
+		}
+		return a.acc, nil
+	case "avg":
+		if a.n == 0 {
+			return nil, nil
+		}
+		return a.acc / float64(a.n), nil
+	}
+	return nil, fmt.Errorf("prov: unreachable aggregate %q", a.f.Name)
+}
+
+// groupState is one output group: its first joined combination (for
+// non-aggregate expressions), the combination count (for COUNT(*)) and
+// the incremental aggregate folds.
+type groupState struct {
+	firstRows []int
+	combos    int
+	aggs      []aggState
+}
+
+func evalG(e *env, g gexpr, gs *groupState) (Value, error) {
+	switch x := g.(type) {
+	case gAgg:
+		return gs.aggs[x.i].final(gs.combos)
+	case gBin:
+		l, err := evalG(e, x.l, gs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalG(e, x.r, gs)
+		if err != nil {
+			return nil, err
+		}
+		return evalBin(&env{}, binExpr{Op: x.op, L: litVal(l), R: litVal(r)})
+	case gLeaf:
+		if gs.combos == 0 {
+			return nil, nil
+		}
+		e.rows = gs.firstRows
+		return evalExpr(e, x.ex)
+	}
+	return nil, fmt.Errorf("prov: unreachable grouped expression %T", g)
+}
+
+// groupedSink streams joined combinations into groups — one map probe
+// and one incremental fold per combination — instead of materializing
+// the whole join and re-scanning it per group like the reference.
+// Group keys replicate the reference's formatValue-plus-NUL encoding
+// byte for byte, built in a reused buffer.
+func groupedSink(e *env, q *query, res *Result) (func() (bool, error), func() error) {
+	var aggTmpl []funcCall
+	selG := make([]gexpr, len(q.Select))
+	for i, it := range q.Select {
+		selG[i] = compileG(it.Expr, &aggTmpl)
+	}
+	ordG := make([]gexpr, len(q.OrderBy))
+	for i, ob := range q.OrderBy {
+		ordG[i] = compileG(ob.Expr, &aggTmpl)
+	}
+
+	groups := map[string]*groupState{}
+	var order []*groupState
+	var keyBuf []byte
+
+	newGroup := func() *groupState {
+		gs := &groupState{firstRows: append([]int(nil), e.rows...)}
+		gs.aggs = make([]aggState, len(aggTmpl))
+		for i, f := range aggTmpl {
+			gs.aggs[i] = aggState{f: f, first: true}
+		}
+		return gs
+	}
+
+	sink := func() (bool, error) {
+		var gs *groupState
+		if len(q.GroupBy) == 0 {
+			if len(order) == 0 {
+				order = append(order, newGroup())
+			}
+			gs = order[0]
+		} else {
+			keyBuf = keyBuf[:0]
+			for _, g := range q.GroupBy {
+				v, err := e.lookup(g)
+				if err != nil {
+					return false, err
+				}
+				keyBuf = appendKeyValue(keyBuf, v)
+				keyBuf = append(keyBuf, 0)
+			}
+			gs = groups[string(keyBuf)]
+			if gs == nil {
+				gs = newGroup()
+				groups[string(keyBuf)] = gs
+				order = append(order, gs)
+			}
+		}
+		gs.combos++
+		for i := range gs.aggs {
+			if err := gs.aggs[i].fold(e); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+
+	finish := func() error {
+		if len(q.GroupBy) == 0 && len(order) == 0 {
+			// Aggregates over an empty set still yield one row.
+			order = append(order, newGroup())
+		}
+		type outRow struct {
+			vals []Value
+			keys []Value
+		}
+		rows := make([]outRow, 0, len(order))
+		for _, gs := range order {
+			vals := make([]Value, 0, len(q.Select))
+			for _, g := range selG {
+				v, err := evalG(e, g, gs)
+				if err != nil {
+					return err
+				}
+				vals = append(vals, v)
+			}
+			keys := make([]Value, 0, len(q.OrderBy))
+			for _, g := range ordG {
+				v, err := evalG(e, g, gs)
+				if err != nil {
+					return err
+				}
+				keys = append(keys, v)
+			}
+			rows = append(rows, outRow{vals, keys})
+		}
+		if len(q.OrderBy) > 0 {
+			sort.SliceStable(rows, func(i, j int) bool {
+				return orderLess(q.OrderBy, rows[i].keys, rows[j].keys)
+			})
+		}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, r.vals)
+		}
+		if q.Limit >= 0 && len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+		return nil
+	}
+	return sink, finish
+}
+
+// appendKeyValue appends formatValue(v) to b without allocating.
+// It must stay byte-identical to formatValue: group keys built here
+// feed the same map semantics the reference gets from the string form.
+func appendKeyValue(b []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return b
+	case string:
+		return append(b, x...)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case float64:
+		start := len(b)
+		b = strconv.AppendFloat(b, x, 'f', 6, 64)
+		for len(b) > start && b[len(b)-1] == '0' {
+			b = b[:len(b)-1]
+		}
+		if len(b) > start && b[len(b)-1] == '.' {
+			b = b[:len(b)-1]
+		}
+		if len(b) == start || (len(b) == start+1 && b[start] == '-') {
+			b = append(b[:start], '0')
+		}
+		return b
+	case time.Time:
+		return x.AppendFormat(b, "2006-01-02 15:04:05.000")
+	default:
+		return fmt.Appendf(b, "%v", x)
+	}
+}
+
+// executeReference is the straightforward executor the planner is
+// pinned against: unindexed nested-loop join materializing every
+// combination, then grouping/sorting/limiting. Kept verbatim as the
+// semantic oracle — any planner change must keep CrossCheck green
+// against this.
+func executeReference(tables []boundTable, q *query) (*Result, error) {
+	e := &env{tables: tables, rows: make([]int, len(tables))}
+	for i := range e.rows {
+		e.rows[i] = -1
+	}
+
+	condAt := assignConjuncts(tables, q)
 
 	var joined []([]int)
 	var joinErr error
@@ -183,7 +799,8 @@ func (db *DB) execute(q *query) (*Result, error) {
 			joined = append(joined, append([]int(nil), e.rows...))
 			return
 		}
-		for ri := range tables[depth].rows {
+		n := tables[depth].snap.n
+		for ri := 0; ri < n; ri++ {
 			e.rows[depth] = ri
 			ok := true
 			for _, c := range condAt[depth] {
@@ -435,36 +1052,35 @@ func evalCondition(e *env, c condition) (bool, error) {
 	}
 }
 
-// likeMatch implements SQL LIKE with % (any run) and _ (any one).
+// likeMatch implements SQL LIKE with % (any run) and _ (any one
+// character). It is iterative with single-point backtracking to the
+// most recent % — worst case O(len(s)·len(pat)) — so pathological
+// patterns like "%a%a%a%…" cannot trigger exponential recursion, and
+// it matches by rune so _ consumes one multi-byte character, not one
+// byte.
 func likeMatch(s, pat string) bool {
-	var match func(si, pi int) bool
-	match = func(si, pi int) bool {
-		for pi < len(pat) {
-			switch pat[pi] {
-			case '%':
-				for k := si; k <= len(s); k++ {
-					if match(k, pi+1) {
-						return true
-					}
-				}
-				return false
-			case '_':
-				if si >= len(s) {
-					return false
-				}
-				si++
-				pi++
-			default:
-				if si >= len(s) || s[si] != pat[pi] {
-					return false
-				}
-				si++
-				pi++
-			}
+	rs, rp := []rune(s), []rune(pat)
+	si, pi := 0, 0
+	star, ss := -1, 0
+	for si < len(rs) {
+		switch {
+		case pi < len(rp) && (rp[pi] == '_' || rp[pi] == rs[si]):
+			si++
+			pi++
+		case pi < len(rp) && rp[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			ss++
+			si, pi = ss, star+1
+		default:
+			return false
 		}
-		return si == len(s)
 	}
-	return match(0, 0)
+	for pi < len(rp) && rp[pi] == '%' {
+		pi++
+	}
+	return pi == len(rp)
 }
 
 func evalExpr(e *env, ex expr) (Value, error) {

@@ -35,19 +35,28 @@ type tableSnapshot struct {
 
 const snapshotVersion = 1
 
-// Save writes the entire database to w.
+// Save writes the entire database to w. It serializes from a
+// consistent multi-table snapshot; published rows are immutable, so
+// the snapshot rows can be encoded directly without per-row copies
+// and without blocking writers during the encode.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
+	names := db.tableNamesLocked()
+	tabs := make([]*Table, 0, len(names))
+	for _, name := range names {
+		tabs = append(tabs, db.tables[name])
+	}
+	db.mu.RUnlock()
+	snaps := captureTables(tabs)
 	snap := dbSnapshot{Version: snapshotVersion}
-	for _, name := range db.tableNamesLocked() {
-		t := db.tables[name]
-		ts := tableSnapshot{Name: t.Name, Columns: t.Columns}
-		for _, row := range t.Rows {
-			ts.Rows = append(ts.Rows, append([]Value(nil), row...))
+	for _, t := range tabs {
+		s := snaps[t]
+		ts := tableSnapshot{Name: t.Name, Columns: t.Columns, Rows: make([][]Value, 0, s.n)}
+		for i := 0; i < s.n; i++ {
+			ts.Rows = append(ts.Rows, s.row(i))
 		}
 		snap.Tables = append(snap.Tables, ts)
 	}
-	db.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("prov: save: %w", err)
 	}
@@ -90,5 +99,9 @@ func LoadDB(r io.Reader) (*DB, error) {
 			}
 		}
 	}
+	// Archives predate (or may not follow) the PROV-Wf schema; declare
+	// whatever default indexes apply so re-queries get the planner's
+	// fast paths.
+	declareDefaultIndexes(db)
 	return db, nil
 }

@@ -65,7 +65,34 @@ func NewProvWfDB() (*DB, error) {
 			return nil, err
 		}
 	}
+	declareDefaultIndexes(db)
 	return db, nil
+}
+
+// declareDefaultIndexes creates hash indexes on the key columns the
+// activation lifecycle and the paper's Figure-10 analytical queries
+// probe: taskid makes CloseActivation O(1) under the 80k-activation
+// sweep, and the join/filter keys feed the query planner's index
+// seeds. Best-effort: tables or columns absent from a given database
+// (e.g. an archive saved by an older build) are skipped.
+func declareDefaultIndexes(db *DB) {
+	for _, ix := range [...]struct{ table, col string }{
+		{TableWorkflow, "wkfid"},
+		{TableActivity, "actid"},
+		{TableActivity, "wkfid"},
+		{TableActivation, "taskid"},
+		{TableActivation, "actid"},
+		{TableActivation, "wkfid"},
+		{TableFile, "taskid"},
+		{TableFile, "actid"},
+		{TableDocking, "taskid"},
+		{TableDocking, "receptor"},
+		{TableDocking, "ligand"},
+		{TableDocking, "program"},
+	} {
+		//lint:ignore discarderr best-effort by design: skip tables/columns absent from older archives
+		_ = db.CreateIndex(ix.table, ix.col)
+	}
 }
 
 // InsertWorkflow records an hworkflow row.
@@ -111,10 +138,11 @@ func (db *DB) BeginActivation(taskid, actid, wkfid int64, start time.Time, vmid,
 }
 
 // CloseActivation updates the status/endtime/failures of an existing
-// activation row.
+// activation row. With the default taskid index this is an O(1) point
+// update rather than a table scan — the difference between O(n) and
+// O(n²) total close cost over the paper's 80,000-activation sweep.
 func (db *DB) CloseActivation(taskid int64, status string, end time.Time, failures int64) error {
-	n, err := db.Update(TableActivation,
-		func(row []Value) bool { return row[0] == taskid },
+	n, err := db.UpdateByKey(TableActivation, "taskid", taskid,
 		func(row []Value) {
 			row[3] = status
 			row[5] = end

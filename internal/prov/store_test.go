@@ -1,0 +1,601 @@
+package prov
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMain pins planner==reference across the whole package: with
+// CrossCheck on, every Query in every test executes through both the
+// indexed planner and executeReference and fails on any divergence.
+func TestMain(m *testing.M) {
+	CrossCheck = true
+	os.Exit(m.Run())
+}
+
+// --- segmented storage ---
+
+func kvTable(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.CreateTable("kv", []Column{
+		{"id", TInt}, {"grp", TString}, {"val", TFloat},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := db.Insert("kv", []Value{int64(i), fmt.Sprintf("g%d", i%7), float64(i) / 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSegmentSealing(t *testing.T) {
+	// Cross two seal boundaries so queries and updates exercise sealed
+	// segments, the mutable tail, and the transition between them.
+	n := 2*segSize + segSize/2
+	db := kvTable(t, n)
+	if got := db.NumRows("kv"); got != n {
+		t.Fatalf("NumRows = %d, want %d", got, n)
+	}
+	res, err := db.Query("SELECT count(*), min(id), max(id) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != int64(n) || res.Rows[0][1].(int64) != 0 || res.Rows[0][2].(int64) != int64(n-1) {
+		t.Fatalf("aggregate over segments = %v", res.Rows[0])
+	}
+	// Point-read one row per region.
+	for _, id := range []int{0, segSize - 1, segSize, 2*segSize - 1, 2 * segSize, n - 1} {
+		res, err := db.Query(fmt.Sprintf("SELECT val FROM kv WHERE id = %d", id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].(float64) != float64(id)/2 {
+			t.Fatalf("row %d = %v", id, res.Rows)
+		}
+	}
+}
+
+func TestUpdateCopyOnWriteSealedRow(t *testing.T) {
+	db := kvTable(t, segSize+10)
+	// Row 5 is in a sealed segment; row segSize+5 is in the tail.
+	for _, id := range []int{5, segSize + 5} {
+		n, err := db.Update("kv",
+			func(row []Value) bool { return row[0] == int64(id) },
+			func(row []Value) { row[2] = -1.0 })
+		if err != nil || n != 1 {
+			t.Fatalf("update id %d: n=%d err=%v", id, n, err)
+		}
+		res, err := db.Query(fmt.Sprintf("SELECT val FROM kv WHERE id = %d", id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].(float64) != -1.0 {
+			t.Fatalf("update of row %d not visible: %v", id, res.Rows)
+		}
+	}
+}
+
+// --- hash indexes ---
+
+func TestCreateIndexAndUpdateByKey(t *testing.T) {
+	db := kvTable(t, 100)
+	// Backfilled index created after the inserts.
+	if err := db.CreateIndex("kv", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("kv", "id"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("kv", "nope"); err == nil {
+		t.Error("index on missing column accepted")
+	}
+	if err := db.CreateIndex("nope", "id"); err == nil {
+		t.Error("index on missing table accepted")
+	}
+	n, err := db.UpdateByKey("kv", "id", int64(42), func(row []Value) { row[2] = 99.0 })
+	if err != nil || n != 1 {
+		t.Fatalf("UpdateByKey: n=%d err=%v", n, err)
+	}
+	// Non-indexed column falls back to a scan with identical results.
+	n, err = db.UpdateByKey("kv", "grp", "g3", func(row []Value) { row[2] = 777.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 / 7; n != want+1 && n != want {
+		t.Fatalf("scan UpdateByKey matched %d rows", n)
+	}
+	res, err := db.Query("SELECT count(*) FROM kv WHERE val = 777.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != int64(n) {
+		t.Fatalf("updated rows not visible: %v of %d", res.Rows[0][0], n)
+	}
+}
+
+func TestIndexMaintainedAcrossKeyChange(t *testing.T) {
+	db := kvTable(t, 50)
+	if err := db.CreateIndex("kv", "grp"); err != nil {
+		t.Fatal(err)
+	}
+	// Move every g1 row to g-moved; the posting lists must follow.
+	moved, err := db.UpdateByKey("kv", "grp", "g1", func(row []Value) { row[1] = "g-moved" })
+	if err != nil || moved == 0 {
+		t.Fatalf("move: n=%d err=%v", moved, err)
+	}
+	if n, err := db.UpdateByKey("kv", "grp", "g1", func(row []Value) {}); err != nil || n != 0 {
+		t.Fatalf("old key still indexed: n=%d err=%v", n, err)
+	}
+	if n, err := db.UpdateByKey("kv", "grp", "g-moved", func(row []Value) {}); err != nil || n != moved {
+		t.Fatalf("new key finds %d rows, want %d", n, moved)
+	}
+	res, err := db.Query("SELECT count(*) FROM kv WHERE grp = 'g-moved'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != int64(moved) {
+		t.Fatalf("query after re-key: %v", res.Rows[0])
+	}
+}
+
+func TestIndexKeyNormalization(t *testing.T) {
+	db := NewDB()
+	if err := db.CreateTable("m", []Column{{"f", TFloat}, {"s", TString}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("m", "f"); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 2, 2, 3} {
+		if err := db.Insert("m", []Value{v, "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("m", []Value{nil, "nilrow"}); err != nil {
+		t.Fatal(err)
+	}
+	// An int literal in SQL must probe float cells (compareValues
+	// unifies numerics, so the index key must too).
+	res, err := db.Query("SELECT count(*) FROM m WHERE f = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("numeric unification: %v", res.Rows[0])
+	}
+}
+
+// --- snapshot vs update aliasing (the zero-copy hazard) ---
+
+func TestConcurrentQueryCloseRace(t *testing.T) {
+	db, err := NewProvWfDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	base := time.Date(2014, 3, 1, 8, 0, 0, 0, time.UTC)
+	for i := 1; i <= n; i++ {
+		if err := db.BeginActivation(int64(i), 1, 1, base, "vm-1", "cmd"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer closeAll(t, db, 1, n, base) // keep provpair's pairing invariant visible
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 1; i <= n; i++ {
+			if err := db.CloseActivation(int64(i), StatusFinished, base.Add(time.Second), 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			res, err := db.Query("SELECT status, count(*), sum(failures) FROM hactivation GROUP BY status")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Every snapshot must see exactly n rows split between the
+			// two states — a torn row would break either invariant.
+			var rows, fails int64
+			for _, r := range res.Rows {
+				rows += r[1].(int64)
+				if r[0].(string) == StatusRunning && r[2] != nil {
+					fails += int64(r[2].(float64))
+				}
+			}
+			if rows != n {
+				t.Errorf("snapshot saw %d rows, want %d", rows, n)
+				return
+			}
+			if fails != 0 {
+				t.Errorf("RUNNING rows with nonzero failures: %d", fails)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// closeAll closes any still-open activations (the race test's writer
+// already closed them; this is the provpair-visible pairing).
+func closeAll(t *testing.T, db *DB, lo, hi int, base time.Time) {
+	t.Helper()
+	for i := lo; i <= hi; i++ {
+		_ = db.CloseActivation(int64(i), StatusFinished, base.Add(time.Second), 1)
+	}
+}
+
+// --- buffered appender ---
+
+func TestAppenderMatchesDirectWrites(t *testing.T) {
+	base := time.Date(2014, 3, 1, 8, 0, 0, 0, time.UTC)
+	feed := func(begin func(taskid int64) error, closeA func(taskid int64) error,
+		file func(i int64) error, dock func(i int64) error, terminal func(i int64) error) {
+		t.Helper()
+		for i := int64(1); i <= 150; i++ {
+			if err := begin(i); err != nil {
+				t.Fatal(err)
+			}
+			if err := closeA(i); err != nil {
+				t.Fatal(err)
+			}
+			if err := file(i); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				if err := dock(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i%10 == 0 {
+				if err := terminal(i + 1000); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	build := func(limit int) []byte {
+		t.Helper()
+		db, err := NewProvWfDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if limit < 0 { // direct writes, no appender
+			feed(
+				func(i int64) error { return db.BeginActivation(i, 1, 1, base, "vm", "c") },
+				func(i int64) error {
+					return db.CloseActivation(i, StatusFinished, base.Add(time.Duration(i)*time.Second), i%2)
+				},
+				func(i int64) error { return db.InsertFile(i, i, 1, 1, "f.dlg", 10, "/d/") },
+				func(i int64) error { return db.InsertDocking(i, 1, "R", "L", "ad4", -1.5, 0.2, 10) },
+				func(i int64) error {
+					return db.InsertActivation(i, 1, 1, StatusAborted, base, base, "-", 0, "c # aborted")
+				},
+			)
+		} else {
+			app := NewAppender(db, limit)
+			feed(
+				func(i int64) error { return app.BeginActivation(i, 1, 1, base, "vm", "c") },
+				func(i int64) error {
+					return app.CloseActivation(i, StatusFinished, base.Add(time.Duration(i)*time.Second), i%2)
+				},
+				func(i int64) error { return app.InsertFile(i, i, 1, 1, "f.dlg", 10, "/d/") },
+				func(i int64) error { return app.InsertDocking(i, 1, "R", "L", "ad4", -1.5, 0.2, 10) },
+				func(i int64) error {
+					return app.InsertActivation(i, 1, 1, StatusAborted, base, base, "-", 0, "c # aborted")
+				},
+			)
+			if err := app.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if app.Pending() != 0 {
+				t.Fatalf("pending after flush: %d", app.Pending())
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := build(-1)
+	for _, limit := range []int{1, 4, 64, 1 << 20} {
+		if got := build(limit); !bytes.Equal(got, want) {
+			t.Errorf("appender(limit=%d) tables differ from direct writes", limit)
+		}
+	}
+}
+
+func TestAppenderCloseAfterFlush(t *testing.T) {
+	db, err := NewProvWfDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2014, 3, 1, 8, 0, 0, 0, time.UTC)
+	app := NewAppender(db, 0)
+	if err := app.BeginActivation(7, 1, 1, base, "vm", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The RUNNING row is in the DB now; the close must go through the
+	// indexed point update, not the (empty) buffer.
+	if err := app.CloseActivation(7, StatusFinished, base.Add(time.Minute), 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT status, failures FROM hactivation WHERE taskid = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(string) != StatusFinished || res.Rows[0][1].(int64) != 2 {
+		t.Fatalf("close after flush: %v", res.Rows[0])
+	}
+	// Closing an unknown activation still reports the error.
+	if err := app.CloseActivation(999, StatusFinished, base, 0); err == nil {
+		t.Error("close of missing activation accepted")
+	}
+}
+
+func TestAppenderAutoFlushAtCap(t *testing.T) {
+	db, err := NewProvWfDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2014, 3, 1, 8, 0, 0, 0, time.UTC)
+	app := NewAppender(db, 3)
+	for i := int64(1); i <= 3; i++ {
+		if err := app.InsertFile(i, i, 1, 1, "f", 1, "/"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if app.Pending() != 0 {
+		t.Fatalf("cap did not flush: pending %d", app.Pending())
+	}
+	if got := db.NumRows(TableFile); got != 3 {
+		t.Fatalf("flushed rows = %d", got)
+	}
+	// Validation errors surface at append time, like direct inserts.
+	if err := app.InsertActivation(1, 1, 1, StatusFinished, base, base, "vm", 0, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.add(TableFile, []Value{"wrong-type"}); err == nil {
+		t.Error("appender accepted schema-violating row")
+	}
+	if err := app.add("missing", []Value{int64(1)}); err == nil {
+		t.Error("appender accepted missing table")
+	}
+	if err := app.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.CloseActivation(1, StatusFinished, base, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- planner==reference property test over randomized rows ---
+
+func TestPlannerMatchesReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	groups := []string{"a", "b", "c", "dd", ""}
+	for round := 0; round < 4; round++ {
+		db := NewDB()
+		for _, tn := range []string{"t", "u"} {
+			if err := db.CreateTable(tn, []Column{
+				{"id", TInt}, {"grp", TString}, {"val", TFloat}, {"ts", TTime},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Indexes on some tables/columns only, so both the indexed and
+		// the fallback paths run.
+		if err := db.CreateIndex("t", "id"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex("t", "grp"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex("u", "id"); err != nil {
+			t.Fatal(err)
+		}
+		base := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+		nrows := 50 + rng.Intn(150)
+		for i := 0; i < nrows; i++ {
+			for _, tn := range []string{"t", "u"} {
+				var grp Value = groups[rng.Intn(len(groups))]
+				var val Value = float64(rng.Intn(20)) / 4
+				if rng.Intn(10) == 0 {
+					grp = nil
+				}
+				if rng.Intn(10) == 0 {
+					val = nil
+				}
+				// Duplicate ids on purpose: postings with several rows.
+				if err := db.Insert(tn, []Value{
+					int64(rng.Intn(nrows / 2)), grp, val, base.Add(time.Duration(rng.Intn(3600)) * time.Second),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		queries := []string{
+			"SELECT id, grp, val FROM t WHERE id = %d",
+			"SELECT id FROM t WHERE id = %d ORDER BY val DESC LIMIT 3",
+			"SELECT grp, count(*), sum(val), avg(val), min(val), max(val) FROM t GROUP BY grp ORDER BY grp",
+			"SELECT count(distinct grp) FROM t WHERE id >= %d",
+			"SELECT a.id, b.val FROM t a, u b WHERE a.id = b.id AND a.val >= %d ORDER BY a.id, b.val LIMIT 20",
+			"SELECT b.grp, count(*) FROM t a, u b WHERE a.id = b.id AND a.grp = '%s' GROUP BY b.grp ORDER BY b.grp",
+			"SELECT id, val FROM u WHERE id = %d AND val > 1",
+			"SELECT count(*) FROM t WHERE grp IN ('a', 'b') AND id <> %d",
+			// grp >= '' filters the nils out before LIKE sees them
+			// (conjuncts evaluate in order in both executors).
+			"SELECT grp FROM t WHERE grp >= '' AND grp LIKE '%%d%%' AND id >= %d ORDER BY id LIMIT 5",
+			"SELECT max(ts), min(ts), count(*) FROM u WHERE id = %d",
+			// val >= 0 filters the nils out before the arithmetic in the
+			// select list can see them.
+			"SELECT id + val, id * 2 FROM t WHERE id = %d AND val >= 0 ORDER BY id + val",
+			"SELECT count(*) - count(val) FROM t WHERE id >= %d",
+			"SELECT id FROM t WHERE id = %d LIMIT 0",
+		}
+		for i := 0; i < 60; i++ {
+			q := queries[rng.Intn(len(queries))]
+			var sql string
+			if strings.Contains(q, "'%s'") {
+				sql = fmt.Sprintf(q, groups[rng.Intn(len(groups)-1)])
+			} else if strings.Contains(q, "%d") {
+				sql = fmt.Sprintf(q, rng.Intn(nrows/2+5))
+			} else {
+				sql = q
+			}
+			// CrossCheck (on for the whole package) performs the actual
+			// planner==reference comparison inside Query.
+			if _, err := db.Query(sql); err != nil {
+				t.Fatalf("round %d query %q: %v", round, sql, err)
+			}
+		}
+	}
+}
+
+// TestCrossCheckDetectsDivergence makes sure the oracle itself works:
+// a deliberately broken comparison must be caught, not silently pass.
+func TestCrossCheckDetectsDivergence(t *testing.T) {
+	db := kvTable(t, 10)
+	res, err := db.Query("SELECT count(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &Result{Columns: res.Columns, Rows: [][]Value{{int64(9)}}}
+	if cerr := compareResults(res, nil, ref, nil); cerr == nil {
+		t.Error("compareResults missed a row divergence")
+	}
+	if cerr := compareResults(res, nil, nil, fmt.Errorf("boom")); cerr == nil {
+		t.Error("compareResults missed an error-status divergence")
+	}
+	if cerr := compareResults(nil, fmt.Errorf("a"), nil, fmt.Errorf("b")); cerr != nil {
+		t.Errorf("both-error treated as divergence: %v", cerr)
+	}
+}
+
+// --- likeMatch satellite coverage ---
+
+func TestLikeMatchEdgeCases(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		// %% collapses to %.
+		{"abc", "%%", true},
+		{"abc", "a%%c", true},
+		{"abc", "%%%%", true},
+		{"", "%%", true},
+		// _ consumes exactly one rune, including multi-byte ones.
+		{"héllo", "h_llo", true},
+		{"日本", "__", true},
+		{"日本", "_本", true},
+		{"日本", "___", false},
+		{"naïve", "na_ve", true},
+		// Patterns ending in %.
+		{"abc", "abc%", true},
+		{"abc", "ab%", true},
+		{"abc", "abcd%", false},
+		{"", "a%", false},
+		// % then trailing literal.
+		{"a.dlg.bak", "%.dlg", false},
+		{"x.dlg", "%.dlg%", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("like(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatchPathologicalBacktracking(t *testing.T) {
+	// The classic exponential-backtracking killer: many % separators
+	// over a subject that almost matches. The iterative matcher is
+	// O(len(s)·len(pat)); the old recursive one would not return
+	// within the lifetime of the test process.
+	s := strings.Repeat("a", 3000)
+	pat := strings.Repeat("a%", 40) + "b"
+	start := time.Now()
+	if likeMatch(s, pat) {
+		t.Error("pattern should not match")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pathological pattern took %v", elapsed)
+	}
+	if !likeMatch(s+"b", pat) {
+		t.Error("pattern should match with trailing b")
+	}
+}
+
+// --- allocation guards ---
+
+func TestColumnIndexAllocs(t *testing.T) {
+	db, err := NewProvWfDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.lookupTable(TableActivation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(500, func() {
+		if tab.ColumnIndex("taskid") < 0 {
+			t.Fatal("taskid missing")
+		}
+	}); got != 0 {
+		t.Errorf("ColumnIndex(lowercase) allocates %v per call, want 0", got)
+	}
+	// Case-insensitive resolution still works.
+	if tab.ColumnIndex("TaskID") != tab.ColumnIndex("taskid") {
+		t.Error("case-insensitive lookup broken")
+	}
+}
+
+func TestQueryAllocsScaleFree(t *testing.T) {
+	// The zero-copy snapshot must keep per-query allocations
+	// independent of table size: the seed implementation deep-copied
+	// every row of every referenced table on every Query.
+	old := CrossCheck
+	CrossCheck = false
+	defer func() { CrossCheck = old }()
+	measure := func(rows int) float64 {
+		db := kvTable(t, rows)
+		if err := db.CreateIndex("kv", "id"); err != nil {
+			t.Fatal(err)
+		}
+		sql := fmt.Sprintf("SELECT val FROM kv WHERE id = %d", rows-1)
+		return testing.AllocsPerRun(50, func() {
+			if _, err := db.Query(sql); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(512)
+	big := measure(64 * 1024)
+	if big > 2*small+32 {
+		t.Errorf("point-query allocs grew with table size: %v at 512 rows, %v at 64k rows", small, big)
+	}
+}

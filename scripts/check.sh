@@ -30,4 +30,10 @@ go run ./cmd/dockbench -exp search -quick -benchout ''
 echo "==> pipeline runtime benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench BenchmarkPipelineRuntime -benchtime=1x .
 
+echo "==> provenance store benchmark smoke (-benchtime=1x)"
+go test -run '^$' -bench . -benchtime=1x ./internal/prov
+
+echo "==> provenance store benchmark smoke (dockbench -exp prov -quick)"
+go run ./cmd/dockbench -exp prov -quick -benchout ''
+
 echo "check: all gates passed"
