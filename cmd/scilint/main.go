@@ -33,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 		severity = fs.String("severity", "warn", "minimum severity to report: warn or error")
 		noTests  = fs.Bool("notests", false, "skip _test.go files entirely")
 		list     = fs.Bool("list", false, "list registered analyzers and exit")
@@ -58,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "scilint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	pkgs, err := lint.Load(lint.LoadConfig{IncludeTests: !*noTests}, fs.Args()...)
 	if err != nil {
@@ -80,7 +85,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, analyzers, filtered); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if filtered == nil {
@@ -90,7 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	default:
 		cwd, err := os.Getwd()
 		if err != nil {
 			cwd = "" // fall back to absolute paths in output

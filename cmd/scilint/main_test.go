@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 const (
 	sickPkg  = "../../internal/lint/testdata/src/sick"
 	dockPkg  = "../../internal/lint/testdata/src/internal/dock"
+	noisePkg = "../../internal/lint/testdata/src/noise"
 	cleanPkg = "../../internal/lint/testdata/src/clean"
 )
 
@@ -22,11 +24,12 @@ func exec(t *testing.T, args ...string) (int, string, string) {
 }
 
 func TestSickFixtureFailsTheGate(t *testing.T) {
-	code, out, errOut := exec(t, sickPkg, dockPkg)
+	code, out, errOut := exec(t, sickPkg, dockPkg, noisePkg)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 (error findings present); stderr: %s", code, errOut)
 	}
-	for _, an := range []string{"floatcmp", "discarderr", "mutexheld", "provpair", "ctxleak", "wildrand"} {
+	for _, an := range []string{"floatcmp", "discarderr", "mutexheld", "provpair", "ctxleak",
+		"wildrand", "detflow", "dimcheck", "lockflow"} {
 		if !strings.Contains(out, " "+an+": ") {
 			t.Errorf("output missing %s finding:\n%s", an, out)
 		}
@@ -40,6 +43,11 @@ func TestSickFixtureFailsTheGate(t *testing.T) {
 		"t.mu.RLock() with no matching unlock",
 		"channel send while t.mu is held",
 		"infinite worker loop with no shutdown path",
+		// The flow-sensitive layer: an early-return read-lock leak, an
+		// r-vs-r² unit swap and a cross-package nondeterminism chain.
+		"is still held when this path returns",
+		"r vs r² mixup",
+		"which draws from the math/rand global source",
 	} {
 		if !strings.Contains(out, msg) {
 			t.Errorf("output missing %q finding:\n%s", msg, out)
@@ -122,11 +130,106 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, an := range []string{"ctxleak", "discarderr", "floatcmp", "mutexheld", "provpair", "wildrand"} {
+	for _, an := range []string{"ctxleak", "detflow", "dimcheck", "discarderr", "floatcmp",
+		"lockflow", "mutexheld", "provpair", "wildrand"} {
 		if !strings.Contains(out, an) {
 			t.Errorf("-list missing analyzer %s:\n%s", an, out)
 		}
 	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, out, errOut := exec(t, "-sarif", sickPkg, dockPkg, noisePkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (exit status unaffected by format); stderr: %s", code, errOut)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "scilint" {
+		t.Fatalf("malformed SARIF envelope:\n%s", out)
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Fatal("-sarif produced no results for the sick fixture")
+	}
+	byRule := map[string]bool{}
+	for _, r := range log.Runs[0].Results {
+		byRule[r.RuleID] = true
+		if len(r.Locations) != 1 || !strings.Contains(r.Locations[0].Physical.Artifact.URI, ".go") {
+			t.Errorf("result without a .go location: %+v", r)
+		}
+	}
+	for _, an := range []string{"mutexheld", "lockflow", "dimcheck", "detflow"} {
+		if !byRule[an] {
+			t.Errorf("SARIF results missing rule %s; got %v", an, byRule)
+		}
+	}
+
+	// Clean run: still a valid log, with the full rule table and an
+	// empty result array.
+	code, out, errOut = exec(t, "-sarif", cleanPkg)
+	if code != 0 {
+		t.Fatalf("clean -sarif exit = %d; stderr: %s", code, errOut)
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("clean -sarif output invalid: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean SARIF log must have one run with zero results:\n%s", out)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) == 0 {
+		t.Error("clean SARIF log lost the rule table")
+	}
+
+	if code, _, _ := exec(t, "-sarif", "-json", cleanPkg); code != 2 {
+		t.Errorf("-sarif -json together: exit = %d, want 2", code)
+	}
+}
+
+// TestFullModuleRuntimeBudget pins the end-to-end cost of the gate's
+// `scilint ./...` stage: load + type-check the whole module, build the
+// call graph and CFGs, run all nine analyzers. The bound is generous
+// (CI machines vary) but catches superlinear regressions in the flow
+// engine — before the fixpoint iteration was capped, a pathological
+// merge could spin for minutes.
+func TestFullModuleRuntimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint run in -short mode")
+	}
+	const budget = 90 * time.Second
+	start := time.Now()
+	code, out, errOut := exec(t, "./...")
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("scilint ./... exit = %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if elapsed > budget {
+		t.Errorf("scilint ./... took %v, budget %v", elapsed, budget)
+	}
+	t.Logf("scilint ./... completed in %v (budget %v)", elapsed, budget)
 }
 
 func TestUnknownPackagePattern(t *testing.T) {

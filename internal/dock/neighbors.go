@@ -21,6 +21,8 @@ type NeighborList struct {
 }
 
 // NewNeighborList indexes the molecule's atoms with the given cutoff.
+//
+//unit: cutoff=Å
 func NewNeighborList(m *chem.Molecule, cutoff float64) *NeighborList {
 	pts := m.Positions()
 	min, max := chem.BoundingBox(pts)

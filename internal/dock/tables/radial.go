@@ -34,9 +34,11 @@ import "math"
 const (
 	// Cutoff is the non-bonded interaction cutoff in Å shared by
 	// AutoGrid map generation and both scoring functions.
+	//unit: Å
 	Cutoff = 8.0
 	// SplitR2 is the r² boundary (Ų) between the fine core segment
 	// and the coarse tail segment.
+	//unit: Å2
 	SplitR2 = 16.0
 	// BinsCore is the number of r² bins covering [0, SplitR2):
 	// Δr² = 2⁻¹⁰ Ų, fine enough for the r≈RMin repulsive core.
@@ -46,8 +48,10 @@ const (
 	BinsTail = 1 << 12
 	// RMin is AutoGrid's minimum interaction distance: pair terms are
 	// evaluated at max(r, RMin), capping the singular repulsive core.
+	//unit: Å
 	RMin = 0.5
 	// RMin2 is RMin² for callers that clamp in r² space.
+	//unit: Å2
 	RMin2 = RMin * RMin
 
 	invCore = BinsCore / SplitR2                  // core bins per Ų
@@ -79,6 +83,8 @@ func NewRadial(f func(r float64) float64) *Radial {
 }
 
 // At2 returns the interpolated value at squared distance r2 ≥ 0.
+//
+//unit: r2=Å2
 func (t *Radial) At2(r2 float64) float64 {
 	x := r2 * invCore
 	if r2 >= SplitR2 {

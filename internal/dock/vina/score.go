@@ -259,6 +259,8 @@ func (s *Scorer) intraEnergyAnalytic(coords []chem.Vec3) float64 {
 // pairTerm is the Vina pairwise function on the surface distance
 // d = r − R_i − R_j; the analytic form lives in internal/dock/tables
 // (the single source both this package and the table builder share).
+//
+//unit: r=Å result=kcal/mol
 func pairTerm(a, b chem.TypeParams, r float64) float64 {
 	return tables.VinaPair(a, b, r)
 }

@@ -153,6 +153,7 @@ func provCell(n int, writer bool) (ProvBench, error) {
 	closeIters := minInt(20_000, n)
 	var innerErr error
 	i := 0
+	//lint:ignore detflow measure's wall-clock reads ARE the measurement; timings feed BENCH json, never provenance rows
 	cell.CloseNsPerOp, _ = measure(closeIters, func() {
 		taskid := int64(i%n + 1)
 		i++

@@ -19,6 +19,7 @@ package grid
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/chem"
@@ -83,13 +84,18 @@ type Maps struct {
 	desolv   []float64
 }
 
-// Types returns the atom types with affinity maps, in no particular
-// order.
+// Types returns the atom types with affinity maps in sorted order, so
+// everything downstream of the map keys — the .fld index WriteFLD
+// emits, the per-type map files scidock writes — is byte-identical
+// across runs. (Ranging the map directly here leaked Go's randomized
+// iteration order into output files; scilint's detflow taint analysis
+// caught it.)
 func (m *Maps) Types() []chem.AtomType {
 	out := make([]chem.AtomType, 0, len(m.affinity))
 	for t := range m.affinity {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -253,6 +253,38 @@ func TestWriteFLD(t *testing.T) {
 	}
 }
 
+// TestTypesDeterministicOrder pins Types() to sorted order regardless
+// of map insertion order. Types() feeds the .fld index WriteFLD emits
+// and the per-type map filenames, so a regression here (ranging the
+// affinity map directly) would make output files differ run to run.
+func TestTypesDeterministicOrder(t *testing.T) {
+	insertions := [][]chem.AtomType{
+		{chem.TypeSA, chem.TypeC, chem.TypeOA, chem.TypeHD, chem.TypeNA, chem.TypeA},
+		{chem.TypeA, chem.TypeNA, chem.TypeHD, chem.TypeOA, chem.TypeC, chem.TypeSA},
+		{chem.TypeOA, chem.TypeSA, chem.TypeA, chem.TypeC, chem.TypeNA, chem.TypeHD},
+	}
+	want := []chem.AtomType{chem.TypeA, chem.TypeC, chem.TypeHD, chem.TypeNA, chem.TypeOA, chem.TypeSA}
+	for _, order := range insertions {
+		m := &Maps{affinity: map[chem.AtomType][]float64{}}
+		for _, at := range order {
+			m.affinity[at] = nil
+		}
+		// Repeat the call: Go randomizes map iteration per range, so a
+		// single lucky draw must not pass the test.
+		for i := 0; i < 50; i++ {
+			got := m.Types()
+			if len(got) != len(want) {
+				t.Fatalf("Types() = %v, want %v", got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("iteration %d, insertion %v: Types() = %v, want %v", i, order, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestCellListCoversAllAtoms(t *testing.T) {
 	rec := preparedReceptor(t, "9PAP")
 	cl := buildCellList(rec, 8)

@@ -1,0 +1,114 @@
+// A static call graph over every package of one Run, for the
+// interprocedural analyzers (detflow's determinism taint). Nodes are
+// functions declared in loaded target packages; edges are statically
+// dispatched calls. Because the loader type-checks a package once as a
+// target and again as a dependency of other targets, two distinct
+// *types.Func instances can denote the same function — nodes and edges
+// are therefore keyed by a canonical "pkgpath.Recv.Name" string, which
+// is stable across instances. Dynamic dispatch (interface methods,
+// function values) produces no edge; detflow documents that limit.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// callGraph indexes every declared function of a Run by canonical key.
+type callGraph struct {
+	nodes map[string]*cgNode
+}
+
+// cgNode is one declared function or method.
+type cgNode struct {
+	key      string
+	pkg      *Package
+	decl     *ast.FuncDecl
+	testOnly bool // declared in a _test.go file
+	edges    []cgEdge
+}
+
+// cgEdge is one static call site inside the node's body (function
+// literals included: code in a closure still runs on behalf of the
+// declaring function).
+type cgEdge struct {
+	to   string // canonical callee key; may be outside the graph
+	pos  token.Pos
+	call *ast.CallExpr
+}
+
+// funcKey canonicalizes a *types.Func. Methods include the bare
+// receiver type name so (*T).M and T.M collapse to "path.T.M".
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	path := pkgPathOf(fn)
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if _, name, ok := namedFrom(sig.Recv().Type()); ok {
+			return path + "." + name + "." + fn.Name()
+		}
+		return path + ".?." + fn.Name()
+	}
+	return path + "." + fn.Name()
+}
+
+// buildCallGraph walks every declared function in pkgs and records its
+// static call sites.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	cg := &callGraph{nodes: map[string]*cgNode{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				def, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				key := funcKey(def)
+				if key == "" {
+					continue
+				}
+				node := &cgNode{
+					key:      key,
+					pkg:      pkg,
+					decl:     fd,
+					testOnly: pkg.IsTestFile(fd.Pos()),
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := pkg.calleeFunc(call)
+					if callee == nil {
+						return true
+					}
+					node.edges = append(node.edges, cgEdge{
+						to:   funcKey(callee),
+						pos:  call.Pos(),
+						call: call,
+					})
+					return true
+				})
+				// Target+dependency double-loading can present the same
+				// function twice; first (non-test) declaration wins.
+				if prev, ok := cg.nodes[key]; !ok || (prev.testOnly && !node.testOnly) {
+					cg.nodes[key] = node
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// CallGraphFor returns the per-Run call graph, building it on first
+// use.
+func (p *Pass) CallGraphFor() *callGraph {
+	if p.shared.callgraph == nil {
+		p.shared.callgraph = buildCallGraph(p.all)
+	}
+	return p.shared.callgraph
+}

@@ -1,0 +1,544 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses "package p\n\n"+src and returns the declaration of
+// func f plus the fileset (no type checking: BuildCFG is syntactic).
+func parseFunc(t *testing.T, src string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse CFG fixture: %v\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fset, fd
+		}
+	}
+	t.Fatalf("no func f in fixture:\n%s", src)
+	return nil, nil
+}
+
+// TestCFGGoldenDumps pins the exact block/edge structure the builder
+// produces for each control construct. The dumps are load-bearing: the
+// dataflow analyzers' merge behavior depends on these edges.
+func TestCFGGoldenDumps(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"straight_line", `func f(a, b int) int {
+	x := a + b
+	x *= 2
+	return x
+}`, `b0 entry: [x := a + b; x *= 2; return x] -> b1
+b1 exit:
+`},
+		{"if_else", `func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, `b0 entry: [x := 0; c] -> b2 b3
+b1 if.join: [return x] -> b4
+b2 if.then: [x = 1] -> b1
+b3 if.else: [x = 2] -> b1
+b4 exit:
+`},
+		{"if_no_else", `func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	return x
+}`, `b0 entry: [x := 0; c] -> b1 b2
+b1 if.join: [return x] -> b3
+b2 if.then: [x = 1] -> b1
+b3 exit:
+`},
+		{"for_full", `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 9 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, `b0 entry: [s := 0; i := 0] -> b1
+b1 for.head: [i < n] -> b2 b3
+b2 for.exit: [return s] -> b9
+b3 for.body: [i == 3] -> b5 b6
+b4 for.post: [i++] -> b1
+b5 if.join: [i == 9] -> b7 b8
+b6 if.then: [continue] -> b4
+b7 if.join: [s += i] -> b4
+b8 if.then: [break] -> b2
+b9 exit:
+`},
+		{"for_infinite_with_break", `func f() {
+	for {
+		if done() {
+			break
+		}
+		step()
+	}
+}`, `b0 entry: -> b1
+b1 for.head: -> b3
+b2 for.exit: -> b6
+b3 for.body: [done()] -> b4 b5
+b4 if.join: [step()] -> b1
+b5 if.then: [break] -> b2
+b6 exit:
+`},
+		{"range_over_slice", `func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, `b0 entry: [s := 0] -> b1
+b1 range.head: [xs] -> b2 b3
+b2 range.exit: [return s] -> b4
+b3 range.body: [s += x] -> b1
+b4 exit:
+`},
+		{"switch_fallthrough_default", `func f(k int) int {
+	switch k {
+	case 1:
+		k++
+		fallthrough
+	case 2:
+		k--
+	default:
+		k = 0
+	}
+	return k
+}`, `b0 entry: [k] -> b2 b3 b4
+b1 switch.exit: [return k] -> b5
+b2 case: [k++; fallthrough] -> b3
+b3 case: [k--] -> b1
+b4 case.default: [k = 0] -> b1
+b5 exit:
+`},
+		{"switch_no_default", `func f(k int) int {
+	switch {
+	case k > 0:
+		k = 1
+	}
+	return k
+}`, `b0 entry: -> b1 b2
+b1 switch.exit: [return k] -> b3
+b2 case: [k = 1] -> b1
+b3 exit:
+`},
+		{"type_switch", `func f(v any) int {
+	switch v.(type) {
+	case int:
+		return 1
+	default:
+		return 0
+	}
+}`, `b0 entry: [v.(type)] -> b2 b3
+b1 switch.exit: -> b4
+b2 typecase: [return 1] -> b4
+b3 typecase.default: [return 0] -> b4
+b4 exit:
+`},
+		{"select_with_default", `func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case b <- 1:
+		return 1
+	default:
+		return 0
+	}
+}`, `b0 entry: -> b1
+b1 select.head: -> b3 b4 b5
+b2 select.exit: -> b6
+b3 select.case: [x := <-a; return x] -> b6
+b4 select.case: [b <- 1; return 1] -> b6
+b5 select.default: [return 0] -> b6
+b6 exit:
+`},
+		{"defer_and_panic", `func f(c bool) int {
+	defer cleanup()
+	if c {
+		panic("boom")
+	}
+	return 1
+}`, `b0 entry: [defer cleanup(); c] -> b1 b2
+b1 if.join: [return 1] -> b3
+b2 if.then: [panic("boom")] -> b3
+b3 exit:
+`},
+		{"labeled_break_continue", `func f(m [][]int) int {
+	s := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			s += v
+		}
+	}
+	return s
+}`, `b0 entry: [s := 0] -> b1
+b1 label.outer: -> b2
+b2 range.head: [m] -> b3 b4
+b3 range.exit: [return s] -> b12
+b4 range.body: -> b5
+b5 range.head: [row] -> b6 b7
+b6 range.exit: -> b2
+b7 range.body: [v < 0] -> b8 b9
+b8 if.join: [v == 99] -> b10 b11
+b9 if.then: [continue outer] -> b2
+b10 if.join: [s += v] -> b5
+b11 if.then: [break outer] -> b3
+b12 exit:
+`},
+		{"goto_forward_and_back", `func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	if i == 0 {
+		goto done
+	}
+	i *= 2
+done:
+	return i
+}`, `b0 entry: [i := 0] -> b1
+b1 label.loop: [i < n] -> b2 b3
+b2 if.join: [i == 0] -> b4 b5
+b3 if.then: [i++; goto loop] -> b1
+b4 if.join: [i *= 2] -> b6
+b5 if.then: [goto done] -> b6
+b6 label.done: [return i] -> b7
+b7 exit:
+`},
+		{"code_after_return_unreachable", `func f() int {
+	return 1
+	x := 2
+	return x
+}`, `b0 entry: [return 1] -> b2
+b1 unreachable: [x := 2; return x] -> b2
+b2 exit:
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, fd := parseFunc(t, tc.src)
+			got := BuildCFG(fd.Body, nil).Dump()
+			if got != tc.want {
+				t.Errorf("CFG dump mismatch\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGExitInvariants checks the structural invariants every
+// analyzer relies on: one exit block with no successors, FallsOff set
+// exactly when the body can run off the closing brace, and defers
+// recorded in syntactic order.
+func TestCFGExitInvariants(t *testing.T) {
+	_, fd := parseFunc(t, `func f(c bool) {
+	defer first()
+	if c {
+		defer second()
+		return
+	}
+}`)
+	g := BuildCFG(fd.Body, nil)
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("exit block has successors: %v", g.Exit.Succs)
+	}
+	if len(g.Exit.Nodes) != 0 {
+		t.Errorf("exit block holds nodes: %v", g.Exit.Nodes)
+	}
+	if g.FallsOff == nil {
+		t.Error("body without a final return must set FallsOff")
+	}
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Error("defers not in syntactic order")
+	}
+
+	_, fd = parseFunc(t, `func f() int { return 1 }`)
+	if g := BuildCFG(fd.Body, nil); g.FallsOff != nil {
+		t.Error("body ending in return on every path must not set FallsOff")
+	}
+}
+
+// TestCFGReversePostorder checks RPO starts at the entry and orders
+// every block before its successors on at least one acyclic path
+// (entry first, each non-entry reachable block preceded by a pred).
+func TestCFGReversePostorder(t *testing.T) {
+	_, fd := parseFunc(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	g := BuildCFG(fd.Body, nil)
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatalf("RPO must start at entry")
+	}
+	pos := map[*Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	for _, b := range rpo[1:] {
+		earlierPred := false
+		for _, p := range b.Preds {
+			if pi, ok := pos[p]; ok && pi < pos[b] {
+				earlierPred = true
+			}
+		}
+		if !earlierPred {
+			t.Errorf("block b%d has no earlier predecessor in RPO", b.Index)
+		}
+	}
+}
+
+// --- statement-partition property --------------------------------------
+
+// leafStmts collects the statements the builder must place into blocks:
+// every non-container statement, recursing through the control
+// statements' structure exactly as the builder does (init/post clauses
+// are leaves, labeled statements unwrap, empty statements vanish).
+func leafStmts(list []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	var walk func(s ast.Stmt)
+	walkList := func(l []ast.Stmt) {
+		for _, s := range l {
+			walk(s)
+		}
+	}
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkList(s.List)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walkList(s.Body.List)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walkList(s.Body.List)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		case *ast.RangeStmt:
+			walkList(s.Body.List)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			out = append(out, s.Assign) // evaluated as the switch head node
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					walk(cc.Comm)
+				}
+				walkList(cc.Body)
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt)
+		case *ast.EmptyStmt:
+			// dropped by the builder
+		default:
+			out = append(out, s)
+		}
+	}
+	walkList(list)
+	return out
+}
+
+// checkStmtPartition asserts every leaf statement of the body lands in
+// exactly one block's node list, exactly once.
+func checkStmtPartition(t *testing.T, src string, fset *token.FileSet, fd *ast.FuncDecl) {
+	t.Helper()
+	g := BuildCFG(fd.Body, nil)
+	placed := map[ast.Stmt]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if s, ok := n.(ast.Stmt); ok {
+				placed[s]++
+			}
+		}
+	}
+	for _, s := range leafStmts(fd.Body.List) {
+		switch placed[s] {
+		case 1:
+			// exactly once: the invariant
+		case 0:
+			t.Errorf("statement at %s missing from every block:\n%s",
+				fset.Position(s.Pos()), src)
+		default:
+			t.Errorf("statement at %s placed in %d blocks:\n%s",
+				fset.Position(s.Pos()), placed[s], src)
+		}
+	}
+	// No node (statement or control expression) may repeat either.
+	nodes := map[ast.Node]int{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			nodes[n]++
+			if nodes[n] > 1 {
+				t.Errorf("node at %s appears in multiple blocks:\n%s",
+					fset.Position(n.Pos()), src)
+			}
+		}
+	}
+}
+
+// stmtGen emits pseudo-random syntactically valid function bodies. The
+// seed is fixed: the corpus is deterministic across runs.
+type stmtGen struct {
+	r     *rand.Rand
+	depth int
+}
+
+func (g *stmtGen) stmts(n int, inLoop bool) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(g.stmt(inLoop))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (g *stmtGen) stmt(inLoop bool) string {
+	if g.depth >= 3 {
+		return "x++"
+	}
+	max := 7
+	if !inLoop {
+		max = 5 // break/continue only inside loops
+	}
+	switch g.r.Intn(max) {
+	case 0:
+		return "x++"
+	case 1:
+		g.depth++
+		defer func() { g.depth-- }()
+		s := fmt.Sprintf("if x > %d {\n%s}", g.r.Intn(10), g.stmts(1+g.r.Intn(2), inLoop))
+		if g.r.Intn(2) == 0 {
+			s += fmt.Sprintf(" else {\n%s}", g.stmts(1+g.r.Intn(2), inLoop))
+		}
+		return s
+	case 2:
+		g.depth++
+		defer func() { g.depth-- }()
+		return fmt.Sprintf("for i := 0; i < %d; i++ {\n%s}", 2+g.r.Intn(5), g.stmts(1+g.r.Intn(3), true))
+	case 3:
+		g.depth++
+		defer func() { g.depth-- }()
+		return fmt.Sprintf("switch x %% 3 {\ncase 0:\n%scase 1:\n%sdefault:\n%s}",
+			g.stmts(1, inLoop), g.stmts(1, inLoop), g.stmts(1, inLoop))
+	case 4:
+		return "return x"
+	case 5:
+		return "break"
+	default:
+		return "continue"
+	}
+}
+
+// TestCFGStatementPartitionProperty runs the partition invariant over
+// the golden shapes plus a generated corpus: whatever the control
+// structure, no statement is lost and none is duplicated.
+func TestCFGStatementPartitionProperty(t *testing.T) {
+	hand := []string{
+		`func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`,
+		`func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`,
+		`func f(k int) int {
+	switch k {
+	case 1:
+		k++
+		fallthrough
+	default:
+		k--
+	}
+	return k
+}`,
+		`func f() int {
+	return 1
+	x := 2
+	return x
+}`,
+	}
+	for i, src := range hand {
+		fset, fd := parseFunc(t, src)
+		t.Run(fmt.Sprintf("hand_%d", i), func(t *testing.T) {
+			checkStmtPartition(t, src, fset, fd)
+		})
+	}
+
+	gen := &stmtGen{r: rand.New(rand.NewSource(1))}
+	for i := 0; i < 80; i++ {
+		src := "func f(x int) int {\n" + gen.stmts(3+gen.r.Intn(6), false) + "return x\n}"
+		fset, fd := parseFunc(t, src)
+		t.Run(fmt.Sprintf("gen_%d", i), func(t *testing.T) {
+			checkStmtPartition(t, src, fset, fd)
+		})
+	}
+}

@@ -1,0 +1,94 @@
+// A small forward-dataflow fixpoint engine over the CFGs built by
+// cfg.go. Analyzers describe their lattice through FlowProblem
+// (entry fact, transfer, merge, equality) and get back the in-fact of
+// every reachable block; a second, reporting pass then replays the
+// transfer function with final facts to emit diagnostics (reporting
+// during fixpoint iteration would duplicate findings).
+package lint
+
+// Fact is one lattice element. Transfer and Merge must treat facts as
+// immutable: return fresh values instead of mutating their inputs, or
+// the worklist's convergence test reads its own writes.
+type Fact any
+
+// FlowProblem defines one forward dataflow analysis.
+type FlowProblem interface {
+	// EntryFact is the fact on entry to the function.
+	EntryFact() Fact
+	// Transfer computes the out-fact of a block from its in-fact.
+	Transfer(b *Block, in Fact) Fact
+	// Merge joins two path facts at a control-flow confluence.
+	Merge(a, b Fact) Fact
+	// Equal reports whether two facts are the same lattice element;
+	// the fixpoint terminates when every block's out-fact stabilizes.
+	Equal(a, b Fact) bool
+}
+
+// maxVisitsPerBlock bounds fixpoint iteration as a defensive backstop
+// for a non-converging Merge; well-formed finite lattices converge in
+// a handful of passes.
+const maxVisitsPerBlock = 64
+
+// ForwardFlow runs the analysis to fixpoint and returns the in-fact of
+// every reachable block. Unreachable blocks have no entry in the map.
+func ForwardFlow(g *CFG, p FlowProblem) map[*Block]Fact {
+	rpo := g.ReversePostorder()
+	pos := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		pos[b] = i
+	}
+
+	in := make(map[*Block]Fact, len(rpo))
+	out := make(map[*Block]Fact, len(rpo))
+	visits := make(map[*Block]int, len(rpo))
+
+	inQueue := make(map[*Block]bool, len(rpo))
+	queue := append([]*Block(nil), rpo...)
+	for _, b := range rpo {
+		inQueue[b] = true
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+
+		var inF Fact
+		have := false
+		if b == g.Entry {
+			inF = p.EntryFact()
+			have = true
+		}
+		for _, pred := range b.Preds {
+			o, ok := out[pred]
+			if !ok {
+				continue // predecessor not yet reached
+			}
+			if !have {
+				inF, have = o, true
+			} else {
+				inF = p.Merge(inF, o)
+			}
+		}
+		if !have {
+			continue // block unreachable so far
+		}
+		in[b] = inF
+
+		if visits[b]++; visits[b] > maxVisitsPerBlock {
+			continue
+		}
+		o := p.Transfer(b, inF)
+		if old, ok := out[b]; ok && p.Equal(old, o) {
+			continue
+		}
+		out[b] = o
+		for _, s := range b.Succs {
+			if !inQueue[s] {
+				inQueue[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,625 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestLockFlow(t *testing.T) {
+	const header = `package p
+
+import "sync"
+
+type shard struct {
+	mu   sync.RWMutex
+	rows []int
+}
+`
+	cases := []struct {
+		name, body string
+	}{
+		{"early_return_leaks_read_lock", `
+func (s *shard) snapshotIf(max int) []int {
+	s.mu.RLock()
+	if len(s.rows) > max {
+		return nil // want "s.mu.RLock\(\) acquired at .* is still held when this path returns"
+	}
+	out := s.rows
+	s.mu.RUnlock()
+	return out
+}
+`},
+		{"fall_off_end_leaks_write_lock", `
+func (s *shard) fill(v int) {
+	s.mu.Lock()
+	s.rows = append(s.rows, v)
+} // want "s.mu.Lock\(\) acquired at .* is still held when this path reaches the end of fill"
+`},
+		{"all_paths_release_ok", `
+func (s *shard) head(max int) int {
+	s.mu.RLock()
+	if len(s.rows) > max {
+		s.mu.RUnlock()
+		return -1
+	}
+	v := s.rows[0]
+	s.mu.RUnlock()
+	return v
+}
+`},
+		{"deferred_release_ok", `
+func (s *shard) deferred() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.rows) == 0 {
+		return 0
+	}
+	return s.rows[0]
+}
+`},
+		{"deferred_closure_release_ok", `
+func (s *shard) deferredClosure() int {
+	s.mu.Lock()
+	defer func() {
+		s.rows = nil
+		s.mu.Unlock()
+	}()
+	return len(s.rows)
+}
+`},
+		{"correlated_conditionals_stay_may_held", `
+func (s *shard) maybe(locked bool) {
+	if locked {
+		s.mu.Lock()
+	}
+	s.rows = nil
+	if locked {
+		s.mu.Unlock()
+	}
+}
+`},
+		{"double_write_lock_deadlock", `
+var gmu sync.Mutex
+
+func relock(c bool) {
+	gmu.Lock()
+	if c {
+		gmu.Lock() // want "gmu re-locked on a path where it is already held: self-deadlock"
+	}
+	gmu.Unlock()
+}
+`},
+		{"panic_path_exempt", `
+func (s *shard) mustFirst() int {
+	s.mu.RLock()
+	if len(s.rows) == 0 {
+		panic("empty shard")
+	}
+	v := s.rows[0]
+	s.mu.RUnlock()
+	return v
+}
+`},
+		{"cond_wait_handoff_ok", `
+func pump(mu *sync.Mutex, n int, work func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		mu.Unlock()
+		work()
+		mu.Lock()
+	}
+}
+`},
+		{"loop_acquire_release_ok", `
+func (s *shard) drain(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s.mu.RLock()
+		total += len(s.rows)
+		s.mu.RUnlock()
+	}
+	return total
+}
+`},
+		{"suppression", `
+func (s *shard) pinned() []int {
+	s.mu.RLock()
+	//lint:ignore lockflow caller must invoke (*shard).release to unpin
+	return s.rows
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runCase(t, LockFlow, "fixture/lockflow", "", "fixture.go", header+tc.body)
+		})
+	}
+}
+
+func TestDimCheck(t *testing.T) {
+	const header = `package p
+
+import "math"
+
+// tableAt2 stands in for the r²-indexed kernel table lookups.
+//
+//unit: r2=Å2
+func tableAt2(r2 float64) float64 { return r2 }
+
+// pairEnergy stands in for the annotated pair potentials.
+//
+//unit: r=Å result=kcal/mol
+func pairEnergy(r float64) float64 { return 0 }
+
+var _ = math.Sqrt
+`
+	cases := []struct {
+		name, body string
+	}{
+		{"r_passed_to_r2_param", `
+//unit: r=Å
+func lookup(r float64) float64 {
+	return tableAt2(r) // want "Å value passed to Å² parameter .r2. of tableAt2 .r vs r² mixup"
+}
+`},
+		{"squared_arg_ok", `
+//unit: r=Å
+func lookupOK(r float64) float64 {
+	r2 := r * r
+	return tableAt2(r2)
+}
+`},
+		{"sqrt_recovers_distance", `
+//unit: r2=Å2
+func roundTrip(r2 float64) float64 {
+	r := math.Sqrt(r2)
+	return tableAt2(r * r)
+}
+`},
+		{"comparison_against_wrong_cutoff", `
+//unit: Å
+const cutoff = 8.0
+
+//unit: r2=Å2
+func inRange(r2 float64) bool {
+	return r2 < cutoff // want "unit mismatch in comparison: Å² < Å .r vs r² mixup"
+}
+
+//unit: r2=Å2
+func inRangeOK(r2 float64) bool {
+	return r2 < cutoff*cutoff
+}
+`},
+		{"additive_mixing", `
+//unit: r=Å
+func addMix(r float64) float64 {
+	e := pairEnergy(r)
+	bad := e + r // want "unit mismatch: kcal/mol . Å"
+	_ = bad
+	return 0
+}
+`},
+		{"compound_assign_mixing", `
+//unit: r=Å
+func accumulate(r float64) float64 {
+	e := pairEnergy(r)
+	e += r // want "unit mismatch: e .kcal/mol. \+= a Å value"
+	return e
+}
+`},
+		{"return_unit_mismatch", `
+//unit: r=Å result=kcal/mol
+func wrongReturn(r float64) float64 {
+	return r // want "returning Å value from a function declared to return kcal/mol"
+}
+
+//unit: r=Å result=kcal/mol
+func rightReturn(r float64) float64 {
+	return pairEnergy(r)
+}
+`},
+		{"flow_sensitive_reassignment", `
+//unit: r=Å
+func reassigned(r float64) float64 {
+	x := r * r
+	a := tableAt2(x) // Å² here: clean
+	x = r
+	return a + tableAt2(x) // want "Å value passed to Å² parameter"
+}
+`},
+		{"conflicting_paths_merge_to_unknown", `
+//unit: r=Å
+func merged(r float64, c bool) float64 {
+	x := r
+	if c {
+		x = r * r
+	}
+	return tableAt2(x) // unit disagrees across paths: silent by design
+}
+`},
+		{"quotient_restores_unit", `
+//unit: r=Å
+func ratio(r float64) float64 {
+	r2 := r * r
+	back := r2 / r // Å²/Å = Å
+	return tableAt2(back) // want "Å value passed to Å² parameter"
+}
+`},
+		{"unannotated_code_is_silent", `
+func plain(a, b float64) float64 {
+	c := a*b + 3.5
+	return c / 2
+}
+`},
+		{"suppression", `
+//unit: r=Å
+func deliberate(r float64) float64 {
+	//lint:ignore dimcheck r arrives pre-squared from the cell list in this fixture
+	return tableAt2(r)
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runCase(t, DimCheck, "fixture/dimcheck", "", "fixture.go", header+tc.body)
+		})
+	}
+
+	// The builtin seed table must cover the real kernel API even when
+	// the annotated packages are not among the load targets.
+	t.Run("builtin_seeds", func(t *testing.T) {
+		runCase(t, DimCheck, "fixture/dimcheck", "", "fixture.go", `package p
+
+import "repro/internal/dock/tables"
+
+//unit: r=Å
+func badCompare(r float64) bool {
+	return r < tables.SplitR2 // want "unit mismatch in comparison: Å < Å² .r vs r² mixup"
+}
+
+//unit: r=Å
+func goodCompare(r float64) bool {
+	return r*r < tables.SplitR2
+}
+`)
+	})
+}
+
+func TestDetFlow(t *testing.T) {
+	// The fixture path contains "internal/dock": a deterministic hot
+	// path where any transitively nondeterministic helper call is a
+	// finding.
+	hotCases := []struct {
+		name, src string
+	}{
+		{"unseeded_rand_via_helper", `package p
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64()
+}
+
+func Search() float64 {
+	return jitter() // want "nondeterminism reaches deterministic hot path: call to fixture.jitter, which draws from the math/rand global source .rand.Float64."
+}
+`},
+		{"chain_is_rendered", `package p
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64()
+}
+
+func deep() float64 {
+	return jitter() // want "call to fixture.jitter, which draws from"
+}
+
+func Search() float64 {
+	return deep() // want "call to fixture.deep, which calls fixture.jitter, which draws from the math/rand global source"
+}
+`},
+		{"wall_clock_via_helper", `package p
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Tick() int64 {
+	return stamp() // want "nondeterminism reaches deterministic hot path: call to fixture.stamp, which reads the wall clock .time.Now."
+}
+`},
+		{"map_order_via_helper", `package p
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Emit(m map[string]int) []string {
+	return keys(m) // want "call to fixture.keys, which iterates a map in nondeterministic order into an ordered collection"
+}
+`},
+		{"sorted_keys_sanitize", `package p
+
+import "sort"
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Emit(m map[string]int) []string {
+	return keysSorted(m)
+}
+`},
+		{"seeded_source_sanitizes", `package p
+
+import "math/rand"
+
+func draw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func Search(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return draw(r)
+}
+`},
+		{"order_insensitive_fold_ok", `package p
+
+func total(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func Sum(m map[string]int) int {
+	return total(m)
+}
+`},
+		{"suppression", `package p
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Tick() int64 {
+	//lint:ignore detflow fixture: the timing is the measured quantity
+	return stamp()
+}
+`},
+	}
+	for _, tc := range hotCases {
+		t.Run("hot/"+tc.name, func(t *testing.T) {
+			runCase(t, DetFlow, "repro/internal/dock/fixture", "", "fixture.go", tc.src)
+		})
+	}
+
+	// Cold path: only functions that write provenance rows are sinks.
+	coldSrc := `package p
+
+import (
+	"time"
+
+	"repro/internal/prov"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func relay() int64 {
+	return stamp() // cold, not a sink: silent
+}
+
+func record(db *prov.DB, now time.Time) error {
+	if err := db.BeginActivation(1, 1, 1, now, "vm", "cmd"); err != nil {
+		return err
+	}
+	_ = stamp() // want "nondeterminism reaches provenance-writing function: call to detflow.stamp, which reads the wall clock"
+	return db.CloseActivation(1, prov.StatusFinished, now, 0)
+}
+`
+	t.Run("cold/prov_sink", func(t *testing.T) {
+		runCase(t, DetFlow, "fixture/detflow", "", "fixture.go", coldSrc)
+	})
+}
+
+// diagsFor runs a set of analyzers over one in-memory fixture and
+// returns the filtered diagnostics — the comparison harness for the
+// old-vs-new tests below.
+func diagsFor(t *testing.T, ans []*Analyzer, path, src string) []Diagnostic {
+	t.Helper()
+	pkg := checkFixture(t, path, "", "fixture.go", src)
+	return Run([]*Package{pkg}, ans)
+}
+
+// syntacticAnalyzers is the pre-CFG registry: every analyzer that was
+// in the gate before the flow-sensitive layer landed.
+func syntacticAnalyzers() []*Analyzer {
+	return []*Analyzer{CtxLeak, DiscardErr, FloatCmp, MutexHeld, ProvPair, WildRand}
+}
+
+// TestDimCheckCatchesR2SwapOldAnalyzersMiss seeds the r-vs-r² mutation
+// — feeding a distance to an r²-indexed lookup — and shows the old
+// syntactic registry passes it while dimcheck fails it.
+func TestDimCheckCatchesR2SwapOldAnalyzersMiss(t *testing.T) {
+	const good = `package p
+
+//unit: r2=Å2
+func tableAt2(r2 float64) float64 { return r2 }
+
+//unit: r=Å
+func score(r float64) float64 {
+	return tableAt2(r * r)
+}
+`
+	// The seeded mutation: drop the squaring.
+	mutant := strings.Replace(good, "tableAt2(r * r)", "tableAt2(r)", 1)
+	if mutant == good {
+		t.Fatal("mutation did not apply")
+	}
+
+	if ds := diagsFor(t, syntacticAnalyzers(), "repro/internal/dock/fixture", mutant); len(ds) != 0 {
+		t.Errorf("old analyzers unexpectedly flag the r² mutant: %v", ds)
+	}
+	if ds := diagsFor(t, []*Analyzer{DimCheck}, "repro/internal/dock/fixture", good); len(ds) != 0 {
+		t.Errorf("dimcheck flags the correct code: %v", ds)
+	}
+	ds := diagsFor(t, []*Analyzer{DimCheck}, "repro/internal/dock/fixture", mutant)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "r vs r² mixup") {
+		t.Errorf("dimcheck must flag the r² mutant with the mixup hint, got %v", ds)
+	}
+}
+
+// TestDetFlowCatchesHelperRandWildRandMisses seeds unseeded randomness
+// behind a helper in a hot path. wildrand's syntactic check sees only
+// the draw inside the helper body; the hot public API call site — the
+// line a reviewer needs — is invisible to it and only detflow finds it.
+func TestDetFlowCatchesHelperRandWildRandMisses(t *testing.T) {
+	const src = `package p
+
+import "math/rand"
+
+func jitter() float64 {
+	return rand.Float64() // the only line wildrand can see
+}
+
+func Search(x float64) float64 {
+	return x + jitter() // the call site only detflow reports
+}
+`
+	callLine := fixtureLine(t, src, "x + jitter()")
+
+	old := diagsFor(t, []*Analyzer{WildRand}, "repro/internal/dock/fixture", src)
+	for _, d := range old {
+		if d.Pos.Line == callLine {
+			t.Errorf("wildrand unexpectedly flags the helper call site: %v", d)
+		}
+	}
+	ds := diagsFor(t, []*Analyzer{DetFlow}, "repro/internal/dock/fixture", src)
+	if len(ds) != 1 || ds[0].Pos.Line != callLine {
+		t.Fatalf("detflow must flag exactly the call site (line %d), got %v", callLine, ds)
+	}
+	if !strings.Contains(ds[0].Message, "draws from the math/rand global source") {
+		t.Errorf("detflow message missing the source explanation: %s", ds[0].Message)
+	}
+}
+
+// TestDetFlowCrossPackageFixture loads the on-disk fixtures and shows
+// the fully interprocedural case: the nondeterministic draw lives in a
+// cold package (testdata/src/noise) where wildrand reports nothing at
+// all, and only detflow's call-graph taint surfaces the hot call site.
+func TestDetFlowCrossPackageFixture(t *testing.T) {
+	pkgs, err := Load(LoadConfig{},
+		"testdata/src/internal/dock", "testdata/src/noise")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	data, err := os.ReadFile("testdata/src/internal/dock/dock.go")
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	callLine := fixtureLine(t, string(data), "noise.Wall()")
+
+	old := Run(pkgs, []*Analyzer{WildRand})
+	for _, d := range old {
+		if strings.Contains(d.Pos.Filename, "noise") {
+			t.Errorf("wildrand flagged the cold helper package: %v", d)
+		}
+		if strings.Contains(d.Pos.Filename, "dock.go") && d.Pos.Line == callLine {
+			t.Errorf("wildrand flagged the cross-package call site: %v", d)
+		}
+	}
+
+	found := false
+	for _, d := range Run(pkgs, []*Analyzer{DetFlow}) {
+		if strings.Contains(d.Pos.Filename, "dock.go") && d.Pos.Line == callLine {
+			found = true
+			if !strings.Contains(d.Message, "noise.Wall") ||
+				!strings.Contains(d.Message, "draws from the math/rand global source") {
+				t.Errorf("cross-package chain not rendered: %s", d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("detflow missed the cross-package call site at dock.go:%d", callLine)
+	}
+}
+
+// TestLockFlowCatchesEarlyReturnLeakMutexHeldMisses seeds the
+// early-return read-lock leak (the TableShard snapshot bug shape).
+// mutexheld's release check is function-scoped — an unlock anywhere
+// satisfies it — so only lockflow's path-sensitive analysis fails it.
+func TestLockFlowCatchesEarlyReturnLeakMutexHeldMisses(t *testing.T) {
+	const good = `package p
+
+import "sync"
+
+type shard struct {
+	mu   sync.RWMutex
+	rows []int
+}
+
+func (s *shard) snapshotIf(max int) []int {
+	s.mu.RLock()
+	if len(s.rows) > max {
+		s.mu.RUnlock()
+		return nil
+	}
+	out := s.rows[:len(s.rows):len(s.rows)]
+	s.mu.RUnlock()
+	return out
+}
+`
+	// The seeded mutation: drop the unlock on the early-return path.
+	mutant := strings.Replace(good, "s.mu.RUnlock()\n\t\treturn nil", "return nil", 1)
+	if mutant == good {
+		t.Fatal("mutation did not apply")
+	}
+
+	if ds := diagsFor(t, syntacticAnalyzers(), "fixture/lockflow", mutant); len(ds) != 0 {
+		t.Errorf("old analyzers unexpectedly flag the leak mutant: %v", ds)
+	}
+	if ds := diagsFor(t, []*Analyzer{LockFlow}, "fixture/lockflow", good); len(ds) != 0 {
+		t.Errorf("lockflow flags the correct code: %v", ds)
+	}
+	ds := diagsFor(t, []*Analyzer{LockFlow}, "fixture/lockflow", mutant)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "still held when this path returns") {
+		t.Errorf("lockflow must flag the early-return leak, got %v", ds)
+	}
+	wantLine := fixtureLine(t, mutant, "return nil")
+	if len(ds) == 1 && ds[0].Pos.Line != wantLine {
+		t.Errorf("leak reported at line %d, want the early return at %d", ds[0].Pos.Line, wantLine)
+	}
+}
+
+// fixtureLine returns the 1-based line of the first occurrence of
+// needle in src.
+func fixtureLine(t *testing.T, src, needle string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("needle %q not in fixture", needle)
+	return 0
+}

@@ -79,6 +79,61 @@ type Pass struct {
 	*Package
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+	// all is every package of this Run, for interprocedural analyzers
+	// (detflow's call graph, dimcheck's cross-package unit seeds).
+	all []*Package
+	// shared is per-Run scratch shared across packages and analyzers;
+	// expensive structures (call graph, unit seeds, per-function CFGs)
+	// are built once per Run and memoized here.
+	shared *runShared
+}
+
+// runShared caches per-Run interprocedural state. Run is
+// single-goroutine, so no locking.
+type runShared struct {
+	cfgs      map[ast.Node]*CFG // *ast.FuncDecl -> its CFG
+	callgraph *callGraph
+	dimSeeds  *dimSeeds
+}
+
+// FuncCFG returns the (cached) control-flow graph of a declared
+// function body, using the package's type info to classify
+// terminating calls (panic, os.Exit, log.Fatal*, runtime.Goexit).
+func (p *Pass) FuncCFG(fd *ast.FuncDecl) *CFG {
+	if g, ok := p.shared.cfgs[fd]; ok {
+		return g
+	}
+	g := BuildCFG(fd.Body, p.isTerminatingCall)
+	p.shared.cfgs[fd] = g
+	return g
+}
+
+// isTerminatingCall reports whether a call never returns: the panic
+// builtin, os.Exit, runtime.Goexit, or log.Fatal*/log.Panic*.
+func (p *Package) isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" && p.Info.Uses[fun] == nil
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		case "log":
+			return strings.HasPrefix(fun.Sel.Name, "Fatal") ||
+				strings.HasPrefix(fun.Sel.Name, "Panic")
+		}
+	}
+	return false
 }
 
 // Reportf records a finding at the analyzer's default severity.
@@ -101,9 +156,10 @@ func (p *Pass) ReportSevf(sev Severity, pos token.Pos, format string, args ...an
 // suppression-filtered findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	shared := &runShared{cfgs: map[ast.Node]*CFG{}}
 	for _, pkg := range pkgs {
 		for _, an := range analyzers {
-			an.Run(&Pass{Package: pkg, analyzer: an, diags: &diags})
+			an.Run(&Pass{Package: pkg, analyzer: an, diags: &diags, all: pkgs, shared: shared})
 		}
 	}
 	diags = filterIgnored(pkgs, diags)

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// LockFlow verifies lock/unlock pairing path-sensitively on the CFG,
+// replacing mutexheld's function-scope heuristic for release checking:
+// mutexheld treats "an unlock exists somewhere in the function" as
+// good enough, which lets an early return leak a read lock as long as
+// some other path releases it — exactly the provenance TableShard
+// snapshot bug shape. LockFlow runs a forward must-held analysis over
+// every declared function:
+//
+//   - error: a path reaches a return (or falls off the end) while a
+//     mutex locked in this function is still held and no deferred
+//     unlock releases it;
+//   - error: a mutex is re-locked on a path where it is already held
+//     (self-deadlock for sync.Mutex, writer starvation for RWMutex).
+//
+// Held-ness is tracked per lock expression ("t.mu") with must/may
+// precision: a lock held on only one incoming path merges to may-held
+// and is not reported, so correlated conditionals ("if c { Lock }; if
+// c { Unlock }") stay clean. Paths that end in panic or os.Exit are
+// not release points and are exempt. Unlocking a mutex the function
+// never locked is deliberate in hand-off protocols (cond-wait worker
+// loops) and stays silent. Test files are exempt.
+var LockFlow = &Analyzer{
+	Name:     "lockflow",
+	Doc:      "CFG-based verification that every Lock/RLock is released on all paths (and never re-acquired while held)",
+	Severity: Error,
+	Run:      runLockFlow,
+}
+
+// lockHeld is one held lock in a lockFact.
+type lockHeld struct {
+	read bool      // RLock vs Lock
+	must bool      // held on every path reaching here
+	site token.Pos // first acquire site
+}
+
+// lockFact maps lock key ("t.mu" / "t.mu:r") to held state. Facts are
+// treated immutably; transfer copies before modifying.
+type lockFact map[string]lockHeld
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// lockKeyOf builds the fact key: read and write locks of one RWMutex
+// are distinct resources.
+func lockKeyOf(op lockOp) string {
+	if op.read {
+		return op.key + ":r"
+	}
+	return op.key
+}
+
+// lockProblem is the FlowProblem for one function.
+type lockProblem struct {
+	pass *Pass
+	// report, when non-nil, receives double-lock findings during the
+	// final replay pass (nil during fixpoint iteration).
+	report func(pos token.Pos, op lockOp)
+}
+
+func (lp *lockProblem) EntryFact() Fact { return lockFact{} }
+
+func (lp *lockProblem) Transfer(b *Block, in Fact) Fact {
+	f := in.(lockFact).clone()
+	for _, n := range b.Nodes {
+		lp.transferNode(n, f)
+	}
+	return f
+}
+
+// transferNode applies every mutex call in one node to the fact.
+// Function literals run later (or elsewhere) and are skipped; defer
+// statements are release points handled separately at exits.
+func (lp *lockProblem) transferNode(n ast.Node, f lockFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			op, ok := mutexCall(lp.pass, m)
+			if !ok {
+				return true
+			}
+			key := lockKeyOf(op)
+			if op.acquire {
+				if held, ok := f[key]; ok && held.must && !op.read && lp.report != nil {
+					lp.report(m.Pos(), op)
+				}
+				if _, ok := f[key]; !ok {
+					f[key] = lockHeld{read: op.read, must: true, site: m.Pos()}
+				} else {
+					h := f[key]
+					h.must = true
+					f[key] = h
+				}
+			} else {
+				delete(f, key)
+			}
+		}
+		return true
+	})
+}
+
+func (lp *lockProblem) Merge(a, b Fact) Fact {
+	fa, fb := a.(lockFact), b.(lockFact)
+	out := make(lockFact, len(fa)+len(fb))
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok {
+			merged := va
+			merged.must = va.must && vb.must
+			if vb.site < merged.site {
+				merged.site = vb.site
+			}
+			out[k] = merged
+		} else {
+			va.must = false
+			out[k] = va
+		}
+	}
+	for k, vb := range fb {
+		if _, ok := fa[k]; !ok {
+			vb.must = false
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+func (lp *lockProblem) Equal(a, b Fact) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, va := range fa {
+		vb, ok := fb[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func runLockFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			checkLockFlow(pass, fd)
+		}
+	}
+}
+
+// deferredReleases collects the lock keys released by the function's
+// defer statements — directly (defer mu.Unlock()) or inside a
+// deferred closure.
+func deferredReleases(pass *Pass, g *CFG) map[string]bool {
+	out := map[string]bool{}
+	record := func(call *ast.CallExpr) {
+		if op, ok := mutexCall(pass, call); ok && !op.acquire {
+			out[lockKeyOf(op)] = true
+		}
+	}
+	for _, ds := range g.Defers {
+		record(ds.Call)
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func checkLockFlow(pass *Pass, fd *ast.FuncDecl) {
+	// Cheap pre-filter: no mutex calls, no analysis.
+	hasMutex := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if hasMutex {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := mutexCall(pass, call); ok {
+				hasMutex = true
+			}
+		}
+		return true
+	})
+	if !hasMutex {
+		return
+	}
+
+	g := pass.FuncCFG(fd)
+	lp := &lockProblem{pass: pass}
+	in := ForwardFlow(g, lp)
+	deferred := deferredReleases(pass, g)
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	seen := map[string]bool{}
+	add := func(pos token.Pos, msg string) {
+		k := msg + "@" + pass.Fset.Position(pos).String()
+		if !seen[k] {
+			seen[k] = true
+			findings = append(findings, finding{pos, msg})
+		}
+	}
+
+	// leakCheck reports every must-held, non-deferred lock at an exit
+	// point.
+	leakCheck := func(f lockFact, pos token.Pos, how string) {
+		for key, h := range f {
+			if !h.must || deferred[key] {
+				continue
+			}
+			name := "Lock()"
+			if h.read {
+				name = "RLock()"
+			}
+			lock := key
+			if h.read {
+				lock = key[:len(key)-2] // strip ":r"
+			}
+			add(pos, lock+"."+name+" acquired at "+
+				pass.Fset.Position(h.site).String()+" is still held when this path "+how)
+		}
+	}
+
+	// Replay each reachable block with its final in-fact: double-lock
+	// reporting happens inside the transfer, leak reporting at every
+	// return node and at the fall-off-the-end block's out-fact.
+	for _, b := range g.Blocks {
+		inF, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		f := inF.(lockFact).clone()
+		lp.report = func(pos token.Pos, op lockOp) {
+			add(pos, op.key+" re-locked on a path where it is already held: self-deadlock")
+		}
+		for _, n := range b.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				leakCheck(f, ret.Pos(), "returns")
+			}
+			lp.transferNode(n, f)
+		}
+		lp.report = nil
+		if b == g.FallsOff {
+			leakCheck(f, fd.Body.Rbrace, "reaches the end of "+fd.Name.Name)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}

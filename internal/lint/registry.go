@@ -6,8 +6,11 @@ package lint
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		CtxLeak,
+		DetFlow,
+		DimCheck,
 		DiscardErr,
 		FloatCmp,
+		LockFlow,
 		MutexHeld,
 		ProvPair,
 		WildRand,

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output, the interchange format CI systems (GitHub code
+// scanning, Azure DevOps, ...) ingest natively. The encoder emits one
+// run with one rule per registered analyzer — every analyzer appears
+// in tool.driver.rules even when it produced no results, so a SARIF
+// consumer can distinguish "check ran clean" from "check not run" —
+// and one result per diagnostic, linked to its rule by id and index.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string       `json:"id"`
+	ShortDesc sarifMessage `json:"shortDescription"`
+	Default   sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps the internal severity to SARIF's level vocabulary.
+func sarifLevel(s Severity) string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// WriteSARIF encodes the diagnostics as an indented SARIF 2.1.0 log.
+// Rules are emitted in the analyzers' registry order; results keep the
+// diagnostics' order (Run already sorts by position). Diagnostics from
+// analyzers outside the rule list are skipped — they cannot be linked.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic) error {
+	ruleIndex := map[string]int{}
+	rules := make([]sarifRule, len(analyzers))
+	for i, a := range analyzers {
+		ruleIndex[a.Name] = i
+		rules[i] = sarifRule{
+			ID:        a.Name,
+			ShortDesc: sarifMessage{Text: a.Doc},
+			Default:   sarifConfig{Level: sarifLevel(a.Severity)},
+		}
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			continue
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+				Region:   sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "scilint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

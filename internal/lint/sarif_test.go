@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// sarifFixtureDiags is a fixed diagnostic set spanning both severities
+// and several analyzers.
+func sarifFixtureDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "dimcheck", Severity: Error, Sev: "error",
+			Pos:     token.Position{Filename: "internal/dock/ad4/score.go", Line: 165, Column: 19},
+			Message: `Å value passed to Å² parameter "r2" of At2 (r vs r² mixup?)`,
+		},
+		{
+			Analyzer: "lockflow", Severity: Error, Sev: "error",
+			Pos:     token.Position{Filename: "internal/prov/table.go", Line: 42, Column: 3},
+			Message: "t.mu.RLock() acquired at internal/prov/table.go:38:2 is still held when this path returns",
+		},
+		{
+			Analyzer: "ctxleak", Severity: Warn, Sev: "warn",
+			Pos:     token.Position{Filename: "internal/engine/pool.go", Line: 7, Column: 2},
+			Message: "infinite worker loop with no shutdown path",
+		},
+	}
+}
+
+// TestWriteSARIFGolden pins the exact SARIF bytes for a fixed
+// diagnostic table against testdata/golden.sarif. Regenerate with
+// `go test -run TestWriteSARIFGolden -update ./internal/lint`.
+func TestWriteSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, Analyzers(), sarifFixtureDiags()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	const goldenPath = "testdata/golden.sarif"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output drifted from golden\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteSARIFStructure checks the structural claims table-style:
+// per-case diagnostics in, decoded invariants out.
+func TestWriteSARIFStructure(t *testing.T) {
+	type decoded struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID      string `json:"id"`
+						Default struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+
+	cases := []struct {
+		name        string
+		diags       []Diagnostic
+		wantResults int
+	}{
+		{"empty_log_keeps_rules", nil, 0},
+		{"full_fixture", sarifFixtureDiags(), 3},
+		{"unknown_analyzer_skipped", []Diagnostic{
+			{Analyzer: "notarule", Severity: Error, Sev: "error",
+				Pos: token.Position{Filename: "x.go", Line: 1}, Message: "m"},
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteSARIF(&buf, Analyzers(), tc.diags); err != nil {
+				t.Fatalf("WriteSARIF: %v", err)
+			}
+			var log decoded
+			if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+				t.Fatalf("output is not valid JSON: %v", err)
+			}
+			if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+				t.Errorf("bad version/schema: %q %q", log.Version, log.Schema)
+			}
+			if len(log.Runs) != 1 {
+				t.Fatalf("got %d runs, want 1", len(log.Runs))
+			}
+			run := log.Runs[0]
+			if run.Tool.Driver.Name != "scilint" {
+				t.Errorf("driver name = %q", run.Tool.Driver.Name)
+			}
+			if len(run.Tool.Driver.Rules) != len(Analyzers()) {
+				t.Errorf("got %d rules, want %d (every analyzer, findings or not)",
+					len(run.Tool.Driver.Rules), len(Analyzers()))
+			}
+			for i, r := range run.Tool.Driver.Rules {
+				if r.ID != Analyzers()[i].Name {
+					t.Errorf("rule[%d] = %q, want registry order %q", i, r.ID, Analyzers()[i].Name)
+				}
+				if r.Default.Level != "error" && r.Default.Level != "warning" {
+					t.Errorf("rule %q has bad default level %q", r.ID, r.Default.Level)
+				}
+			}
+			if len(run.Results) != tc.wantResults {
+				t.Fatalf("got %d results, want %d", len(run.Results), tc.wantResults)
+			}
+			for _, res := range run.Results {
+				if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+					t.Errorf("result ruleIndex %d does not point at %q", res.RuleIndex, res.RuleID)
+				}
+				if res.Level != "error" && res.Level != "warning" {
+					t.Errorf("bad result level %q", res.Level)
+				}
+				if len(res.Locations) != 1 || res.Locations[0].Physical.Region.StartLine == 0 ||
+					res.Locations[0].Physical.Artifact.URI == "" {
+					t.Errorf("result without a physical location: %+v", res)
+				}
+			}
+		})
+	}
+}

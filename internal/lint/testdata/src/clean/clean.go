@@ -7,6 +7,7 @@ package clean
 
 import (
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -70,6 +71,19 @@ func (t *TableShard) Snapshot() []int {
 	return t.rows[:len(t.rows):len(t.rows)]
 }
 
+// SnapshotIf releases the read lock on the early-return path too — the
+// disciplined counterpart of the sick fixture's leak.
+func (t *TableShard) SnapshotIf(max int) []int {
+	t.mu.RLock()
+	if len(t.rows) > max {
+		t.mu.RUnlock()
+		return nil
+	}
+	rows := t.rows[:len(t.rows):len(t.rows)]
+	t.mu.RUnlock()
+	return rows
+}
+
 // Flush detaches the batch under the lock and sends it after the
 // release, so a slow consumer never holds up writers.
 func (t *TableShard) Flush(out chan []int) {
@@ -88,4 +102,30 @@ func (t *TableShard) StartFlusher(ticks <-chan struct{}, out chan []int) {
 			t.Flush(out)
 		}
 	}()
+}
+
+// tableAt2 mirrors the r²-indexed kernel lookups.
+//
+//unit: r2=Å2
+func tableAt2(r2 float64) float64 {
+	return r2
+}
+
+// LookupEnergy squares the distance before the r²-indexed lookup — the
+// unit-correct counterpart of the sick fixture's r/r² swap.
+//
+//unit: r=Å
+func LookupEnergy(r float64) float64 {
+	return tableAt2(r * r)
+}
+
+// SortedKeys collects map keys and sorts them, so the iteration order
+// never reaches the output — the sanitized idiom detflow accepts.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

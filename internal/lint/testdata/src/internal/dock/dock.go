@@ -1,12 +1,18 @@
-// Package dock is the wildrand scilint fixture. Its directory path
-// contains "internal/dock", which puts it on the analyzer's
-// deterministic hot-path list: global rand calls and wall-clock reads
-// are findings here, while the injected seeded source is not.
+// Package dock is the wildrand and detflow scilint fixture. Its
+// directory path contains "internal/dock", which puts it on the
+// analyzers' deterministic hot-path list: global rand calls and
+// wall-clock reads are findings here, while the injected seeded source
+// is not. The *ViaHelper/*CrossPackage functions below reach the same
+// sources through call chains — invisible to the syntactic wildrand,
+// caught by detflow's call-graph taint.
 package dock
 
 import (
 	"math/rand"
+	"sort"
 	"time"
+
+	"repro/internal/lint/testdata/src/noise"
 )
 
 // Jitter draws from the process-global rand source (wildrand, error).
@@ -44,6 +50,53 @@ func PoolGlobalRand(chains int) []float64 {
 	<-done
 	<-done
 	return out
+}
+
+// JitterCrossPackage reaches the process-global rand source through a
+// helper in a cold package. wildrand is silent both here (no direct
+// draw) and in noise (not a hot path); detflow reports this call site
+// with the chain down to the source (detflow, error).
+func JitterCrossPackage() float64 {
+	return noise.Wall()
+}
+
+// JitterSeededCrossPackage injects a seeded source into the same cold
+// helper package, which sanitizes the subtree (clean).
+func JitterSeededCrossPackage(seed int64) float64 {
+	return noise.Seeded(rand.New(rand.NewSource(seed)))
+}
+
+// typeNames accumulates map keys in Go's randomized iteration order —
+// an order-sensitive fold that makes the function a taint source.
+func typeNames(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EmitTypes calls the order-sensitive helper from a hot path (detflow,
+// error). wildrand has no map-order check at all, so the old registry
+// passes this function untouched.
+func EmitTypes(m map[string]int) []string {
+	return typeNames(m)
+}
+
+// sortedTypeNames sorts after collecting — the sorted-key idiom that
+// sanitizes map iteration.
+func sortedTypeNames(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EmitTypesSorted stays clean: the helper's sort removes the taint.
+func EmitTypesSorted(m map[string]int) []string {
+	return sortedTypeNames(m)
 }
 
 // PoolSeededRand is the approved pattern the Vina and AD4 search pools

@@ -1,0 +1,18 @@
+// Package noise is the cold half of the detflow fixture: its import
+// path has no deterministic-hot-path fragment, so wildrand ignores the
+// direct global-source draw below. The draw only becomes a finding
+// when a hot package (testdata/src/internal/dock) calls in — which is
+// exactly the interprocedural gap detflow exists to close.
+package noise
+
+import "math/rand"
+
+// Wall returns an unseeded draw from the process-global source.
+func Wall() float64 {
+	return rand.Float64()
+}
+
+// Seeded draws from an injected source; calling it never taints.
+func Seeded(r *rand.Rand) float64 {
+	return r.Float64()
+}

@@ -75,6 +75,20 @@ func (t *TableShard) SnapshotLeak() []int {
 	return t.rows[:len(t.rows):len(t.rows)]
 }
 
+// SnapshotIf releases the read lock on the normal path but leaks it on
+// the early return. mutexheld's function-scope heuristic is satisfied
+// by the RUnlock below; only the path-sensitive analysis sees the leak
+// (lockflow, error).
+func (t *TableShard) SnapshotIf(max int) []int {
+	t.mu.RLock()
+	if len(t.rows) > max {
+		return nil
+	}
+	rows := t.rows[:len(t.rows):len(t.rows)]
+	t.mu.RUnlock()
+	return rows
+}
+
 // FlushNotify hands the drained batch to the consumer while still
 // holding the table lock; a slow consumer convoys every writer
 // (mutexheld, warn).
@@ -93,4 +107,21 @@ func (t *TableShard) StartFlusher(out chan []int) {
 			t.FlushNotify(out)
 		}
 	}()
+}
+
+// tableAt2 mirrors the r²-indexed kernel lookups: the parameter is a
+// squared distance.
+//
+//unit: r2=Å2
+func tableAt2(r2 float64) float64 {
+	return r2
+}
+
+// LookupEnergy feeds a plain Å distance to the r²-indexed lookup — the
+// silent, physically-plausible wrong answer the unit lattice exists to
+// catch (dimcheck, error).
+//
+//unit: r=Å
+func LookupEnergy(r float64) float64 {
+	return tableAt2(r)
 }

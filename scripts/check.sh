@@ -16,6 +16,12 @@ go vet ./...
 echo "==> scilint ./..."
 go run ./cmd/scilint ./...
 
+# The linter lints itself: the flow analyzers (CFG builder, dataflow
+# engine, taint propagation) are exactly the kind of fixpoint code
+# where a leaked lock or nondeterministic map range would be embarrassing.
+echo "==> scilint self-lint (./cmd/... ./internal/lint/...)"
+go run ./cmd/scilint ./cmd/... ./internal/lint/...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
