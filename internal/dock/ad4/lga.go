@@ -27,6 +27,14 @@ type Engine struct {
 	// byte-identical for every value — runs have independent seeds
 	// and land in run order.
 	Workers int
+	// MaxBatch controls offspring evaluation batching: 0 (the
+	// default) accumulates a whole generation's offspring and scores
+	// them in one ScoreBatch call (flushing early when a Lamarckian
+	// local search needs a score), n > 0 caps each batch at n poses,
+	// and n < 0 forces the per-pose reference path. Output is
+	// byte-identical for every value (pinned by
+	// TestDockMaxBatchDeterministic).
+	MaxBatch int
 }
 
 // Dock executes Params.Runs independent LGA runs and collects the
@@ -112,10 +120,138 @@ type individual struct {
 // runLGA is one Lamarckian GA run: generational GA with tournament
 // selection, uniform pose crossover, Cauchy mutation and Solis-Wets
 // local search whose result is written back into the genome
-// (Lamarckian inheritance). The populations are allocated once per
-// run and every candidate evaluation goes through the workspace, so
-// the generation loop itself allocates nothing.
+// (Lamarckian inheritance). The default path evaluates offspring
+// through the SoA batch kernel; MaxBatch < 0 selects the per-pose
+// reference loop the batched path is golden-tested against.
 func (e *Engine) runLGA(r *rand.Rand, s *Scorer, lig *dock.Ligand, ws *dock.Workspace) (dock.Pose, float64) {
+	if e.MaxBatch < 0 {
+		return e.runLGASeq(r, s, lig, ws)
+	}
+	return e.runLGABatch(r, s, lig, ws)
+}
+
+// runLGABatch is runLGASeq restructured around the SoA batch kernel.
+// The GA's evaluations consume no randomness, so deferring them
+// cannot perturb the seeded stream: the initial population is drawn
+// pose by pose and scored in one batch, and each generation's
+// offspring are generated (tournament, crossover, mutation draws — all
+// before any evaluation of that offspring in the reference order) and
+// appended to the batch. The one draw the reference path takes after
+// scoring an offspring — the Lamarckian local-search gate — is drawn
+// eagerly at append time, which is stream-identical because the score
+// between them draws nothing. The batch is flushed when full
+// (MaxBatch poses; 0 = a whole generation) and on demand when a
+// gated offspring needs its score for Solis-Wets, which then runs
+// sequentially exactly as the reference path does. Champion updates
+// are replayed in offspring order at generation end — nothing inside
+// a generation reads the champion, so the running minimum is the
+// same one the reference loop maintains online — making the whole
+// trajectory, and hence the returned pose, bit-identical for every
+// MaxBatch value.
+func (e *Engine) runLGABatch(r *rand.Rand, s *Scorer, lig *dock.Ligand, ws *dock.Workspace) (dock.Pose, float64) {
+	nt := lig.NumTorsions()
+	pop := make([]individual, e.Params.PopSize)
+	next := make([]individual, e.Params.PopSize)
+	for i := range pop {
+		pop[i].pose.Torsions = make([]float64, 0, nt)
+		next[i].pose.Torsions = make([]float64, 0, nt)
+	}
+	maxB := e.MaxBatch
+	if maxB <= 0 || maxB > len(pop) {
+		maxB = len(pop)
+	}
+	b := ws.Batch()
+	febs := ws.Floats(maxB)
+	evals := 0
+
+	for i := range pop {
+		dock.RandomPoseInto(r, &pop[i].pose, e.Box, nt)
+	}
+	for base := 0; base < len(pop); base += maxB {
+		end := base + maxB
+		if end > len(pop) {
+			end = len(pop)
+		}
+		b.Reset()
+		for i := base; i < end; i++ {
+			b.Append(pop[i].pose)
+		}
+		s.ScoreBatch(b, febs[:end-base])
+		evals += end - base
+		for i := base; i < end; i++ {
+			pop[i].feb = febs[i-base]
+		}
+	}
+	best := individual{pose: dock.Pose{Torsions: make([]float64, 0, nt)}, feb: math.Inf(1)}
+	for i := range pop {
+		if pop[i].feb < best.feb {
+			best.pose.Set(pop[i].pose)
+			best.feb = pop[i].feb
+		}
+	}
+
+	pending := make([]int, 0, len(pop))
+	for gen := 0; gen < e.Params.Gens && evals < e.Params.Evals; gen++ {
+		next[0].pose.Set(best.pose)
+		next[0].feb = best.feb
+		b.Reset()
+		pending = pending[:0]
+		flush := func() {
+			if b.Len() == 0 {
+				return
+			}
+			s.ScoreBatch(b, febs[:b.Len()])
+			evals += b.Len()
+			for j, idx := range pending {
+				next[idx].feb = febs[j]
+			}
+			b.Reset()
+			pending = pending[:0]
+		}
+		for i := 1; i < len(pop); i++ {
+			a := tournament(r, pop)
+			bi := tournament(r, pop)
+			child := &next[i].pose
+			if r.Float64() < e.Params.CrossRate {
+				crossoverInto(r, child, pop[a].pose, pop[bi].pose)
+			} else {
+				child.Set(pop[a].pose)
+			}
+			mutateInPlace(r, child, e.Params.MutRate, e.Box)
+			// The reference path's next draw is the Lamarckian gate,
+			// taken right after the (draw-free) evaluation.
+			ls := r.Float64() < e.Params.LocalRate
+			b.Append(*child)
+			pending = append(pending, i)
+			if ls {
+				flush()
+				next[i].feb = e.solisWets(r, s, ws, child, next[i].feb, &evals)
+			} else if b.Len() >= maxB {
+				flush()
+			}
+		}
+		flush()
+		for i := 1; i < len(pop); i++ {
+			if next[i].feb < best.feb {
+				best.pose.Set(next[i].pose)
+				best.feb = next[i].feb
+			}
+		}
+		pop, next = next, pop
+	}
+	champ := ws.Get()
+	defer ws.Put(champ)
+	champ.Set(best.pose)
+	feb := e.solisWets(r, s, ws, champ, best.feb, new(int))
+	if feb < best.feb {
+		return champ.Clone(), feb
+	}
+	return best.pose, best.feb
+}
+
+// runLGASeq is the per-pose reference run the batched path must match
+// byte-for-byte (Engine.MaxBatch < 0 selects it).
+func (e *Engine) runLGASeq(r *rand.Rand, s *Scorer, lig *dock.Ligand, ws *dock.Workspace) (dock.Pose, float64) {
 	nt := lig.NumTorsions()
 	pop := make([]individual, e.Params.PopSize)
 	next := make([]individual, e.Params.PopSize)

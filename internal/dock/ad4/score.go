@@ -42,16 +42,26 @@ type Scorer struct {
 	intraPairs [][2]int
 	intraTbl   []intraPair
 	torsTerm   float64
+
+	// Batched-path precomputation: per-atom resolved map lattices and
+	// pre-scaled charge weights, so the ScoreBatch inner loop does no
+	// map-key hashing and no per-term weight multiplication chain.
+	affFld    []grid.Field // per ligand atom: its type's affinity lattice
+	elecFld   grid.Field
+	desolvFld grid.Field
+	wq        []float64 // per atom: weightElec · charge
+	wdq       []float64 // per atom: weightDesolv · |charge|
 }
 
 // intraPair is one precomputed intramolecular interaction: the atom
-// index pair, the radial table of its type pair, and the constant
-// Coulomb numerator qi·qj·332.06/ε so the electrostatic part is one
-// division by r².
+// index pair, the radial table of its type pair (plus its node array
+// for the batched path), and the constant Coulomb numerator
+// qi·qj·332.06/ε so the electrostatic part is one division by r².
 type intraPair struct {
-	i, j int32
-	tbl  *tables.Radial
-	qq   float64
+	i, j  int32
+	tbl   *tables.Radial
+	nodes *[tables.NNodes]float64
+	qq    float64
 }
 
 // NewScorer prepares per-atom lookups and the intramolecular pair
@@ -69,14 +79,24 @@ func NewScorer(maps *grid.Maps, lig *dock.Ligand) (*Scorer, error) {
 		}
 		s.atomTypes = append(s.atomTypes, t)
 		s.charges = append(s.charges, a.Charge)
+		fld, err := maps.AffinityField(t)
+		if err != nil {
+			return nil, fmt.Errorf("ad4: %w", err)
+		}
+		s.affFld = append(s.affFld, fld)
+		s.wq = append(s.wq, weightElec*a.Charge)
+		s.wdq = append(s.wdq, weightDesolv*math.Abs(a.Charge))
 	}
+	s.elecFld = maps.ElectrostaticField()
+	s.desolvFld = maps.DesolvationField()
 	s.intraPairs = intraPairs(lig.Mol)
 	for _, pr := range s.intraPairs {
 		i, j := pr[0], pr[1]
+		tbl := tables.AD4Pair(s.atomTypes[i], s.atomTypes[j])
 		s.intraTbl = append(s.intraTbl, intraPair{
 			i: int32(i), j: int32(j),
-			tbl: tables.AD4Pair(s.atomTypes[i], s.atomTypes[j]),
-			qq:  coulombConst * s.charges[i] * s.charges[j] / intraDielec,
+			tbl: tbl, nodes: tbl.Nodes(),
+			qq: coulombConst * s.charges[i] * s.charges[j] / intraDielec,
 		})
 	}
 	s.torsTerm = weightTors * float64(lig.NumTorsions())

@@ -1,0 +1,148 @@
+package dock
+
+import "repro/internal/chem"
+
+// Batch is a structure-of-arrays pose coordinate buffer: the
+// materialized coordinates of up to capPoses candidate poses stored as
+// three contiguous component slices (xs/ys/zs) with one ligand-sized
+// stride per pose. Scoring a batch walks the receptor side of the loop
+// nest once — each CSR neighbor span and each radial-table segment is
+// loaded once per batch instead of once per pose — which is where the
+// batched engines get their cache locality (DESIGN.md §4 "Batched
+// scoring and SoA layout").
+//
+// A Batch is NOT safe for concurrent use; like Workspace, each search
+// worker owns its own. Appending beyond the high-water mark grows the
+// component slices; once warm, Reset/Append cycles allocate nothing.
+type Batch struct {
+	lig        *Ligand
+	stride     int
+	n          int
+	xs, ys, zs []float64
+	scratch    []chem.Vec3 // per-pose AoS staging for CoordsIntoBatch
+	acc        []float64   // scorer per-pose accumulator scratch
+	hits       []Hit       // scorer hit gather scratch
+}
+
+// Hit is one in-cutoff candidate of a batched scoring query: its
+// squared distance and its radial-table class, packed to 16 bytes so
+// the gather loop's two stores land on one cache line slot and the
+// evaluation loop's reload is a single indexed access.
+type Hit struct {
+	R2  float64
+	Cls int32
+	_   int32
+}
+
+// NewBatch builds a batch for the ligand with initial capacity for
+// capPoses poses (it grows beyond that on demand).
+func NewBatch(lig *Ligand, capPoses int) *Batch {
+	if capPoses < 0 {
+		capPoses = 0
+	}
+	stride := lig.Mol.NumAtoms()
+	return &Batch{
+		lig:     lig,
+		stride:  stride,
+		xs:      make([]float64, 0, capPoses*stride),
+		ys:      make([]float64, 0, capPoses*stride),
+		zs:      make([]float64, 0, capPoses*stride),
+		scratch: make([]chem.Vec3, 0, stride),
+	}
+}
+
+// Ligand returns the conformational model the batch serves.
+func (b *Batch) Ligand() *Ligand { return b.lig }
+
+// Len returns the number of poses currently in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Stride returns the per-pose atom stride: pose p's atom i lives at
+// index p*Stride()+i of each component slice.
+func (b *Batch) Stride() int { return b.stride }
+
+// Reset empties the batch, keeping its storage.
+func (b *Batch) Reset() { b.n = 0 }
+
+// SoA returns the three component slices, each Len()*Stride() long.
+// They alias the batch storage and are overwritten by Reset/Append.
+func (b *Batch) SoA() (xs, ys, zs []float64) {
+	n := b.n * b.stride
+	return b.xs[:n], b.ys[:n], b.zs[:n]
+}
+
+// At returns pose p's atom i coordinates (test and debugging helper;
+// the scoring kernels read the component slices directly).
+func (b *Batch) At(p, i int) chem.Vec3 {
+	at := p*b.stride + i
+	return chem.V(b.xs[at], b.ys[at], b.zs[at])
+}
+
+// Append materializes the pose's coordinates into the next batch slot
+// and returns the slot index. The floating-point operation sequence is
+// exactly Ligand.CoordsInto's, so a batched score of slot p is
+// bit-identical to scoring ws.Coords(pose) for the same pose.
+func (b *Batch) Append(p Pose) int {
+	slot := b.n
+	at := slot * b.stride
+	need := at + b.stride
+	if cap(b.xs) >= need {
+		b.xs, b.ys, b.zs = b.xs[:need], b.ys[:need], b.zs[:need]
+	} else {
+		b.xs = append(b.xs[:cap(b.xs)], make([]float64, need-cap(b.xs))...)
+		b.ys = append(b.ys[:cap(b.ys)], make([]float64, need-cap(b.ys))...)
+		b.zs = append(b.zs[:cap(b.zs)], make([]float64, need-cap(b.zs))...)
+	}
+	b.scratch = b.lig.CoordsIntoBatch(p, b.xs[at:need:need], b.ys[at:need:need], b.zs[at:need:need], b.scratch)
+	b.n++
+	return slot
+}
+
+// Scratch returns a zeroed float64 accumulator of length n, reused
+// across calls. It is scorer scratch: ScoreBatch implementations use
+// it for per-pose partial sums, so callers must not pass a slice that
+// aliases it as the output buffer.
+func (b *Batch) Scratch(n int) []float64 {
+	if cap(b.acc) < n {
+		b.acc = make([]float64, n)
+	}
+	b.acc = b.acc[:n]
+	for i := range b.acc {
+		b.acc[i] = 0
+	}
+	return b.acc
+}
+
+// Hits returns a gather buffer of power-of-two length ≥ n, reused
+// across calls — scratch for scorers that collect the in-cutoff hits
+// of one query with unconditional stores and a conditionally advanced
+// cursor, then evaluate the radial tables over the compact hit list in
+// order. The power-of-two length lets the store loop index with
+// cursor&(len-1), which the compiler proves in-bounds, removing the
+// bounds check from the hot store. Contents are not zeroed.
+func (b *Batch) Hits(n int) []Hit {
+	if cap(b.hits) < n {
+		p2 := 1
+		for p2 < n {
+			p2 <<= 1
+		}
+		b.hits = make([]Hit, p2)
+	}
+	return b.hits[:cap(b.hits)]
+}
+
+// CoordsIntoBatch is CoordsInto writing the materialized coordinates
+// component-wise into xs/ys/zs (each len l.Mol.NumAtoms()), staging
+// the torsion application in scratch (grown as needed and returned for
+// reuse). Every floating-point operation matches CoordsInto exactly —
+// the SoA store happens after the final rotate-and-translate — so the
+// component values are bit-identical to the AoS path.
+func (l *Ligand) CoordsIntoBatch(p Pose, xs, ys, zs []float64, scratch []chem.Vec3) []chem.Vec3 {
+	coords := l.CoordsInto(p, scratch)
+	for i, v := range coords {
+		xs[i] = v.X
+		ys[i] = v.Y
+		zs[i] = v.Z
+	}
+	return coords
+}

@@ -1,0 +1,99 @@
+package dock
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+)
+
+// TestBatchAppendMatchesCoords pins the SoA contract: every component
+// of every slot is bit-identical to the AoS CoordsInto path.
+func TestBatchAppendMatchesCoords(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	box := Box{Center: chem.V(1, -2, 3), Size: chem.V(12, 12, 12)}
+	r := rand.New(rand.NewSource(11))
+	b := NewBatch(lig, 4) // deliberately smaller than the pose count: exercises growth
+	var poses []Pose
+	for k := 0; k < 33; k++ {
+		p := RandomPose(r, box, lig.NumTorsions())
+		poses = append(poses, p)
+		if slot := b.Append(p); slot != k {
+			t.Fatalf("slot %d, want %d", slot, k)
+		}
+	}
+	if b.Len() != len(poses) || b.Stride() != lig.Mol.NumAtoms() {
+		t.Fatalf("len=%d stride=%d, want %d/%d", b.Len(), b.Stride(), len(poses), lig.Mol.NumAtoms())
+	}
+	xs, ys, zs := b.SoA()
+	for k, p := range poses {
+		want := lig.Coords(p)
+		for i, w := range want {
+			at := k*b.Stride() + i
+			if xs[at] != w.X || ys[at] != w.Y || zs[at] != w.Z {
+				t.Fatalf("pose %d atom %d: batch (%v,%v,%v) != coords %v",
+					k, i, xs[at], ys[at], zs[at], w)
+			}
+			if got := b.At(k, i); got != w {
+				t.Fatalf("At(%d,%d) = %v, want %v", k, i, got, w)
+			}
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+}
+
+// TestBatchSteadyStateAllocs pins the zero-alloc contract of the warm
+// Reset/Append cycle.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	lig := testLigand(t, "0E6")
+	box := Box{Center: chem.V(0, 0, 0), Size: chem.V(10, 10, 10)}
+	r := rand.New(rand.NewSource(5))
+	ws := NewWorkspace(lig)
+	b := ws.Batch()
+	poses := make([]Pose, 50)
+	for i := range poses {
+		poses[i] = RandomPose(r, box, lig.NumTorsions())
+	}
+	// Warm: reach the high-water mark and the scratch buffers once.
+	b.Reset()
+	for _, p := range poses {
+		b.Append(p)
+	}
+	_ = b.Scratch(len(poses))
+	_ = b.Hits(256)
+	_ = ws.Floats(len(poses))
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		for _, p := range poses {
+			b.Append(p)
+		}
+		_ = b.Scratch(len(poses))
+		_ = b.Hits(256)
+		_ = ws.Floats(len(poses))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch loop allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkBatchAppend50(b *testing.B) {
+	lig := testLigand(b, "0E6")
+	box := Box{Center: chem.V(0, 0, 0), Size: chem.V(10, 10, 10)}
+	r := rand.New(rand.NewSource(5))
+	poses := make([]Pose, 50)
+	for i := range poses {
+		poses[i] = RandomPose(r, box, lig.NumTorsions())
+	}
+	batch := NewBatch(lig, len(poses))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, p := range poses {
+			batch.Append(p)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 // walks contiguous memory instead of chasing per-bucket slice headers.
 type NeighborList struct {
 	cutoff   float64
+	invCut   float64   // 1/cutoff when that is exact (cutoff a power of two), else 0
 	min, max chem.Vec3 // atom bounding box, for the cutoff-expanded guard
 	dims     [3]int
 	start    []int32 // CSR offsets, len = #cells + 1
@@ -27,6 +28,14 @@ func NewNeighborList(m *chem.Molecule, cutoff float64) *NeighborList {
 	pts := m.Positions()
 	min, max := chem.BoundingBox(pts)
 	nl := &NeighborList{cutoff: cutoff, min: min, max: max, pos: pts}
+	// When the cutoff is a power of two (the production 8 Å always is),
+	// dividing by it and multiplying by its reciprocal are both exact
+	// scalings and so bit-identical for every input — cellOf can use the
+	// multiply and spare every query three divides without any cell
+	// assignment ever changing.
+	if b := math.Float64bits(cutoff); b&((1<<52)-1) == 0 && cutoff > 0 {
+		nl.invCut = 1 / cutoff
+	}
 	span := max.Sub(min)
 	nl.dims[0] = int(span.X/cutoff) + 1
 	nl.dims[1] = int(span.Y/cutoff) + 1
@@ -51,6 +60,13 @@ func NewNeighborList(m *chem.Molecule, cutoff float64) *NeighborList {
 }
 
 func (nl *NeighborList) cellOf(p chem.Vec3) [3]int {
+	if inv := nl.invCut; inv != 0 {
+		return [3]int{
+			int(math.Floor((p.X - nl.min.X) * inv)),
+			int(math.Floor((p.Y - nl.min.Y) * inv)),
+			int(math.Floor((p.Z - nl.min.Z) * inv)),
+		}
+	}
 	return [3]int{
 		int(math.Floor((p.X - nl.min.X) / nl.cutoff)),
 		int(math.Floor((p.Y - nl.min.Y) / nl.cutoff)),
@@ -80,6 +96,13 @@ func (nl *NeighborList) index(c [3]int) int {
 // compared clamped cell coordinates against unclamped ones and so let
 // far-away points fall through to a full 27-cell walk of edge cells.)
 func (nl *NeighborList) Spans(p chem.Vec3, out *[27][2]int32) int {
+	return nl.spansOver(nl.start, p, out)
+}
+
+// spansOver is Spans over an arbitrary per-cell CSR offset array with
+// this list's cell geometry, shared by Spans (the atom-index CSR) and
+// PackedNeighbors.Spans (the packed SoA CSR).
+func (nl *NeighborList) spansOver(start []int32, p chem.Vec3, out *[27][2]int32) int {
 	if p.X < nl.min.X-nl.cutoff || p.X > nl.max.X+nl.cutoff ||
 		p.Y < nl.min.Y-nl.cutoff || p.Y > nl.max.Y+nl.cutoff ||
 		p.Z < nl.min.Z-nl.cutoff || p.Z > nl.max.Z+nl.cutoff {
@@ -104,7 +127,7 @@ func (nl *NeighborList) Spans(p chem.Vec3, out *[27][2]int32) int {
 					continue
 				}
 				b := row + x
-				if s, e := nl.start[b], nl.start[b+1]; s < e {
+				if s, e := start[b], start[b+1]; s < e {
 					out[n] = [2]int32{s, e}
 					n++
 				}

@@ -54,6 +54,10 @@ const (
 	//unit: Å2
 	RMin2 = RMin * RMin
 
+	// NNodes is the total node count of every Radial: BinsCore core
+	// nodes plus BinsTail+1 tail nodes (the boundary node is shared).
+	NNodes = BinsCore + BinsTail + 1
+
 	invCore = BinsCore / SplitR2                  // core bins per Ų
 	invTail = BinsTail / (Cutoff*Cutoff - SplitR2) // tail bins per Ų
 )
@@ -68,6 +72,13 @@ type Radial struct {
 	// shared boundary node at r² = SplitR2.
 	vals []float64
 }
+
+// Nodes returns the table's nodes as a fixed-size array pointer (every
+// Radial has exactly NNodes nodes). Batched scorers index it directly:
+// the constant length drops the slice-header load and one bounds check
+// per hit relative to going through At2/AtCoord. Read-only; aliases
+// the table's storage.
+func (t *Radial) Nodes() *[NNodes]float64 { return (*[NNodes]float64)(t.vals) }
 
 // NewRadial tabulates f — a function of the distance r in Å — on the
 // package's two-segment r² grid.
@@ -96,4 +107,76 @@ func (t *Radial) At2(r2 float64) float64 {
 	}
 	v := t.vals[i]
 	return v + (x-float64(i))*(t.vals[i+1]-v)
+}
+
+// Coord2 returns the fractional two-segment table coordinate of the
+// squared distance r2 — the value At2 interpolates at — selected
+// without a data-dependent branch: both segment coordinates are
+// computed and the bit pattern of the right one is picked with a
+// conditional move, so a batch of mixed core/tail distances evaluates
+// with no branch mispredictions. The selected value is bit-identical
+// to At2's internal coordinate.
+//
+//unit: r2=Å2
+func Coord2(r2 float64) float64 {
+	xc := r2 * invCore
+	xt := BinsCore + (r2-SplitR2)*invTail
+	xb := math.Float64bits(xc)
+	if r2 >= SplitR2 {
+		xb = math.Float64bits(xt)
+	}
+	return math.Float64frombits(xb)
+}
+
+// AtCoord evaluates the table at a Coord2 coordinate:
+// t.AtCoord(Coord2(r2)) == t.At2(r2) bit-for-bit. Splitting the
+// coordinate computation from the node lookup lets batched scorers
+// pipeline the table reads of a whole hit list.
+func (t *Radial) AtCoord(x float64) float64 {
+	i := int(x)
+	if i >= len(t.vals)-1 {
+		return t.vals[len(t.vals)-1]
+	}
+	v := t.vals[i]
+	return v + (x-float64(i))*(t.vals[i+1]-v)
+}
+
+// Radial32 is Radial with float32 node storage: the same two-segment
+// r²-indexed geometry at half the memory footprint, for the float32
+// grid-map representation where lattice values are stored single
+// precision anyway. Nodes are quantized once at build time; At2 still
+// interpolates in float64, so the only extra error versus Radial is
+// the one-time node rounding (≤ |f|·2⁻²⁴ per node, pinned by the
+// equivalence tests alongside the float64 bound).
+type Radial32 struct {
+	vals []float32
+}
+
+// NewRadial32 tabulates f — a function of the distance r in Å — on the
+// package's two-segment r² grid with float32 nodes.
+func NewRadial32(f func(r float64) float64) *Radial32 {
+	t := &Radial32{vals: make([]float32, BinsCore+BinsTail+1)}
+	for i := 0; i < BinsCore; i++ {
+		t.vals[i] = float32(f(math.Sqrt(float64(i) / invCore)))
+	}
+	for j := 0; j <= BinsTail; j++ {
+		t.vals[BinsCore+j] = float32(f(math.Sqrt(SplitR2 + float64(j)/invTail)))
+	}
+	return t
+}
+
+// At2 returns the interpolated value at squared distance r2 ≥ 0.
+//
+//unit: r2=Å2
+func (t *Radial32) At2(r2 float64) float64 {
+	x := r2 * invCore
+	if r2 >= SplitR2 {
+		x = BinsCore + (r2-SplitR2)*invTail
+	}
+	i := int(x)
+	if i >= len(t.vals)-1 {
+		return float64(t.vals[len(t.vals)-1])
+	}
+	v := float64(t.vals[i])
+	return v + (x-float64(i))*(float64(t.vals[i+1])-v)
 }

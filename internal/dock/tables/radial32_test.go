@@ -1,0 +1,93 @@
+package tables
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+)
+
+// tolerance32 loosens the float64 interpolation bound by the float32
+// node quantization: one rounding of each node at build time, ≤
+// |f|·2⁻²⁴ relative plus a small absolute floor for denormal-scale
+// values. See DESIGN.md "Batched scoring and SoA layout — float32
+// error-bound methodology".
+func tolerance32(analytic float64) float64 {
+	return tolerance(analytic) + 1e-6 + 1.2e-7*math.Abs(analytic)
+}
+
+// sweep32 is sweep for float32-node tables, against the same analytic
+// oracle with the quantization-widened bound.
+func sweep32(t *testing.T, name string, lo float64, tbl *Radial32, analytic func(r float64) float64) {
+	t.Helper()
+	check := func(r float64) {
+		t.Helper()
+		want := analytic(r)
+		got := tbl.At2(r * r)
+		if d := math.Abs(got - want); d > tolerance32(want) {
+			t.Fatalf("%s: r=%.6f table=%.8g analytic=%.8g |Δ|=%.3g > tol %.3g",
+				name, r, got, want, d, tolerance32(want))
+		}
+	}
+	for r := lo; r <= Cutoff; r += 0.01 {
+		check(r)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		check(lo + rng.Float64()*(Cutoff-lo))
+	}
+}
+
+func TestAD4Smoothed32MatchesAnalytic(t *testing.T) {
+	for _, a := range sweepTypes {
+		for _, b := range sweepTypes {
+			pa, pb := a.Params(), b.Params()
+			sweep32(t, "AD4Smoothed32("+string(a)+","+string(b)+")", RMin,
+				AD4Smoothed32(a, b), func(r float64) float64 {
+					return PairEnergySmoothed(pa, pb, r, SmoothRadius)
+				})
+		}
+	}
+}
+
+func TestElectrostatic32MatchesAnalytic(t *testing.T) {
+	sweep32(t, "Electrostatic32", RMin, Electrostatic32(), ElecScale)
+}
+
+func TestDesolvation32MatchesAnalytic(t *testing.T) {
+	sweep32(t, "Desolvation32", RMin, Desolvation32(), DesolvWeight)
+}
+
+// TestCacheVariantsDistinct pins the cache-key fix: the float64 and
+// float32 representations of the same (kind, pair) must live under
+// distinct keys, so a campaign mixing both map representations in one
+// process is never served the wrong node storage. Before the variant
+// field the second representation to ask would hit the first's entry
+// and fail its type assertion.
+func TestCacheVariantsDistinct(t *testing.T) {
+	t64 := AD4Smoothed(chem.TypeC, chem.TypeOA)
+	t32 := AD4Smoothed32(chem.TypeC, chem.TypeOA)
+	if t64 == nil || t32 == nil {
+		t.Fatal("variant lookup returned nil")
+	}
+	// Both variants stay cached and symmetric after interleaved use.
+	if AD4Smoothed(chem.TypeOA, chem.TypeC) != t64 {
+		t.Error("float64 entry evicted or re-keyed by the float32 build")
+	}
+	if AD4Smoothed32(chem.TypeOA, chem.TypeC) != t32 {
+		t.Error("Radial32 not symmetric-cached")
+	}
+	if Electrostatic32() != Electrostatic32() {
+		t.Error("Electrostatic32 rebuilt per call")
+	}
+	// The two representations agree to float32 node precision.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		r2 := RMin2 + rng.Float64()*(Cutoff*Cutoff-RMin2)
+		a, b := t64.At2(r2), t32.At2(r2)
+		if d := math.Abs(a - b); d > 1e-6+1.2e-7*math.Abs(a) {
+			t.Fatalf("variants diverge at r2=%v: %v vs %v", r2, a, b)
+		}
+	}
+}

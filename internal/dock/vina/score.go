@@ -36,21 +36,25 @@ type Scorer struct {
 	Lig      *dock.Ligand
 
 	nl        *dock.NeighborList
+	packed    *dock.PackedNeighbors // heavy receptor atoms in span order, for ScoreBatch
 	recTypes  []chem.TypeParams
 	ligTypes  []chem.TypeParams
 	ligIsH    []bool
-	recTblIdx []int32            // per receptor atom: column into interTbl rows, -1 for hydrogens
-	interTbl  [][]*tables.Radial // [ligand atom][receptor type index]; nil rows for ligand hydrogens
-	intraTbl  []intraPair        // heavy-atom 1-4+ pairs with their tables
+	recTblIdx  []int32            // per receptor atom: column into interTbl rows, -1 for hydrogens
+	interTbl   [][]*tables.Radial // [ligand atom][receptor type index]; nil rows for ligand hydrogens
+	interNodes [][]*[tables.NNodes]float64 // interTbl rows as node arrays, for ScoreBatch
+	intraTbl   []intraPair        // heavy-atom 1-4+ pairs with their tables
 	rotFactor float64
 	intraRef  float64 // internal energy of the input conformation
 }
 
 // intraPair is one precomputed intramolecular interaction: the atom
-// index pair and the radial table of its type pair.
+// index pair, the radial table of its type pair, and the table's node
+// array for the batched path.
 type intraPair struct {
-	i, j int32
-	tbl  *tables.Radial
+	i, j  int32
+	tbl   *tables.Radial
+	nodes *[tables.NNodes]float64
 }
 
 // NewScorer indexes the receptor and precomputes per-atom parameters
@@ -92,6 +96,11 @@ func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
 		}
 		s.recTblIdx = append(s.recTblIdx, ti)
 	}
+	// Pack the heavy receptor atoms (the only ones that ever score) in
+	// span order for the batched path: position plus table column per
+	// 32-byte slot, walked with streaming loads instead of the
+	// index-CSR gather.
+	s.packed = dock.NewPackedNeighbors(s.nl, func(aj int32) int32 { return s.recTblIdx[aj] })
 	for i, a := range lig.Mol.Atoms {
 		t := a.Type
 		if t == "" {
@@ -100,22 +109,27 @@ func NewScorer(receptor *chem.Molecule, lig *dock.Ligand) (*Scorer, error) {
 		s.ligTypes = append(s.ligTypes, t.Params())
 		s.ligIsH = append(s.ligIsH, !a.Element.IsHeavy())
 		var row []*tables.Radial
+		var nodes []*[tables.NNodes]float64
 		if a.Element.IsHeavy() {
 			row = make([]*tables.Radial, len(recTypeList))
+			nodes = make([]*[tables.NNodes]float64, len(recTypeList))
 			for ti, rt := range recTypeList {
 				row[ti] = tables.Vina(t, rt)
+				nodes[ti] = row[ti].Nodes()
 			}
 		}
 		s.interTbl = append(s.interTbl, row)
+		s.interNodes = append(s.interNodes, nodes)
 	}
 	for _, pr := range intraPairs14(lig.Mol) {
 		i, j := pr[0], pr[1]
 		if s.ligIsH[i] || s.ligIsH[j] {
 			continue
 		}
+		tbl := tables.Vina(lig.Mol.Atoms[i].Type, lig.Mol.Atoms[j].Type)
 		s.intraTbl = append(s.intraTbl, intraPair{
 			i: int32(i), j: int32(j),
-			tbl: tables.Vina(lig.Mol.Atoms[i].Type, lig.Mol.Atoms[j].Type),
+			tbl: tbl, nodes: tbl.Nodes(),
 		})
 	}
 	// Vina reports affinities relative to the internal energy of the

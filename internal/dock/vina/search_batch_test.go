@@ -1,0 +1,36 @@
+package vina
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDockMaxBatchDeterministic pins the batched-local-optimizer
+// contract: the full Dock output is byte-identical for every MaxBatch
+// value — the per-pose reference path (-1), the full speculative
+// window (0), and chunked windows down to single-pose batches.
+func TestDockMaxBatchDeterministic(t *testing.T) {
+	rec, lig := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(rec, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(19)
+	cfg.Exhaustiveness = 4
+	var want string
+	for _, maxBatch := range []int{-1, 0, 1, 2, 7, 64} {
+		eng := &Engine{Config: cfg, StepsPerRestart: 6, Workers: 1, MaxBatch: maxBatch}
+		res, err := eng.Dock(s, lig)
+		if err != nil {
+			t.Fatalf("maxBatch=%d: %v", maxBatch, err)
+		}
+		got := fmt.Sprintf("%+v", res)
+		if maxBatch == -1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("maxBatch=%d result differs from sequential reference:\n%s\nvs\n%s", maxBatch, got, want)
+		}
+	}
+}

@@ -72,6 +72,10 @@ func TestKernelsQuick(t *testing.T) {
 		"grid_generate_reference", "grid_generate_tables_1w", "grid_generate_tables_allcores",
 		"vina_score_analytic", "vina_score_tables",
 		"ad4_score_analytic", "ad4_score_tables",
+		"vina_score_per_pose", "vina_score_batch1", "vina_score_batch8",
+		"vina_score_batch16", "vina_score_batch50", "vina_score_batch150",
+		"ad4_score_per_pose", "ad4_score_batch1", "ad4_score_batch8",
+		"ad4_score_batch16", "ad4_score_batch50", "ad4_score_batch150",
 	}
 	if len(rep.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
@@ -90,12 +94,30 @@ func TestKernelsQuick(t *testing.T) {
 		if !table && b.Speedup != 0 {
 			t.Errorf("%s: baseline has speedup %v", b.Name, b.Speedup)
 		}
+		switch {
+		case strings.Contains(b.Name, "_batch"):
+			if b.BatchSize <= 0 || b.NsPerPose <= 0 || b.SpeedupVsPerPose <= 0 {
+				t.Errorf("%s: incomplete batch cell %+v", b.Name, b)
+			}
+		case strings.Contains(b.Name, "per_pose"):
+			if b.NsPerPose <= 0 || b.BatchSize != 0 || b.SpeedupVsPerPose != 0 {
+				t.Errorf("%s: bad per-pose baseline %+v", b.Name, b)
+			}
+		default:
+			if b.BatchSize != 0 || b.NsPerPose != 0 || b.SpeedupVsPerPose != 0 {
+				t.Errorf("%s: non-sweep row carries batch fields %+v", b.Name, b)
+			}
+		}
+	}
+	if rep.Note == "" {
+		t.Error("report note (1-CPU measurement caveat) missing")
 	}
 	js, err := rep.JSON()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"ns_per_op", "allocs_per_op", "speedup_vs_analytic", "gomaxprocs"} {
+	for _, key := range []string{"ns_per_op", "allocs_per_op", "speedup_vs_analytic",
+		"gomaxprocs", "batch_size", "ns_per_pose", "speedup_vs_per_pose", "note"} {
 		if !strings.Contains(string(js), key) {
 			t.Errorf("JSON missing %q", key)
 		}

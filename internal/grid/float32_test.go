@@ -1,0 +1,182 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+)
+
+// tol32 is the pinned error bound of the float32 representation
+// against the analytic reference: the radial-table interpolation bound
+// (1e-3 + 2e-4·|E|) widened by the float32 roundings — quantized table
+// nodes during accumulation and the final single-precision store, each
+// ≤ |E|·2⁻²⁴ relative with a small absolute floor. See DESIGN.md
+// "Batched scoring and SoA layout — float32 error-bound methodology".
+func tol32(want float64) float64 {
+	return 1e-3 + 2.5e-4*math.Abs(want)
+}
+
+// The float32 generation path must agree with the serial analytic
+// reference at every lattice node within the widened bound — the
+// analytic path stays the golden oracle for both representations.
+func TestGenerateFloat32MatchesReference(t *testing.T) {
+	rec := preparedReceptor(t, "2HHN")
+	spec := smallSpec(rec)
+	types := []chem.AtomType{chem.TypeC, chem.TypeOA, chem.TypeHD, chem.TypeN}
+	f32, err := GeneratePrec(rec, spec, types, 1, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f32.Precision() != Float32 {
+		t.Fatalf("Precision() = %v, want Float32", f32.Precision())
+	}
+	ref, err := GenerateReference(rec, spec, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare := func(name string, got []float32, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if d := math.Abs(float64(got[i]) - want[i]); d > tol32(want[i]) {
+				t.Fatalf("%s[%d]: float32 %v vs analytic %v (|Δ|=%v > %v)",
+					name, i, got[i], want[i], d, tol32(want[i]))
+			}
+		}
+	}
+	compare("elec", f32.elec32, ref.elec)
+	compare("desolv", f32.desolv32, ref.desolv)
+	for _, ty := range types {
+		compare(string(ty), f32.affin32[ty], ref.affinity[ty])
+	}
+}
+
+// Worker-count invariance holds for the float32 representation too:
+// the written map files must be byte-identical for every worker count.
+func TestGenerateFloat32DeterministicAcrossWorkers(t *testing.T) {
+	rec := preparedReceptor(t, "1HUC")
+	spec := smallSpec(rec)
+	types := []chem.AtomType{chem.TypeC, chem.TypeOA}
+	mapBytes := func(m *Maps) []byte {
+		var buf bytes.Buffer
+		for _, name := range []string{"C", "OA", "e", "d"} {
+			if err := m.WriteMap(&buf, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	base, err := GeneratePrec(rec, spec, types, 1, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mapBytes(base)
+	for _, workers := range []int{2, 3, 8} {
+		m, err := GeneratePrec(rec, spec, types, workers, Float32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mapBytes(m), want) {
+			t.Fatalf("float32 map files differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+// Field resolution must be bit-equal to the per-call accessors on both
+// representations, and interpolated float32 lookups must track the
+// float64 maps within the representation bound.
+func TestFieldMatchesAccessors(t *testing.T) {
+	rec := preparedReceptor(t, "2HHN")
+	spec := smallSpec(rec)
+	types := []chem.AtomType{chem.TypeC, chem.TypeOA}
+	for _, prec := range []Precision{Float64, Float32} {
+		m, err := GeneratePrec(rec, spec, types, 1, prec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fC, err := m.AffinityField(chem.TypeC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, fd := m.ElectrostaticField(), m.DesolvationField()
+		r := rand.New(rand.NewSource(31))
+		span := chem.V(
+			float64(spec.NPts[0]-1)*spec.Spacing,
+			float64(spec.NPts[1]-1)*spec.Spacing,
+			float64(spec.NPts[2]-1)*spec.Spacing,
+		)
+		for i := 0; i < 500; i++ {
+			// Mostly inside the box, sometimes outside (penalty path).
+			p := spec.Origin().Add(chem.V(
+				(r.Float64()*1.2-0.1)*span.X,
+				(r.Float64()*1.2-0.1)*span.Y,
+				(r.Float64()*1.2-0.1)*span.Z,
+			))
+			aff, err := m.AffinityAt(chem.TypeC, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fC.At(p); got != aff {
+				t.Fatalf("prec %v: AffinityField.At %v != AffinityAt %v", prec, got, aff)
+			}
+			if got := fe.At(p); got != m.ElectrostaticAt(p) {
+				t.Fatalf("prec %v: ElectrostaticField.At diverges", prec)
+			}
+			if got := fd.At(p); got != m.DesolvationAt(p) {
+				t.Fatalf("prec %v: DesolvationField.At diverges", prec)
+			}
+		}
+		if _, err := m.AffinityField(chem.TypeZn); err == nil {
+			t.Fatalf("prec %v: AffinityField for missing type must error", prec)
+		}
+	}
+}
+
+// Interpolated lookups on the float32 maps stay within the pinned
+// bound of the float64 maps at off-lattice points too.
+func TestFloat32InterpolationTracksFloat64(t *testing.T) {
+	rec := preparedReceptor(t, "2HHN")
+	spec := smallSpec(rec)
+	types := []chem.AtomType{chem.TypeC, chem.TypeOA}
+	m64, err := GeneratePrec(rec, spec, types, 1, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m32, err := GeneratePrec(rec, spec, types, 1, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(12))
+	span := chem.V(
+		float64(spec.NPts[0]-1)*spec.Spacing,
+		float64(spec.NPts[1]-1)*spec.Spacing,
+		float64(spec.NPts[2]-1)*spec.Spacing,
+	)
+	for i := 0; i < 2000; i++ {
+		p := spec.Origin().Add(chem.V(
+			r.Float64()*span.X, r.Float64()*span.Y, r.Float64()*span.Z))
+		a64, err := m64.AffinityAt(chem.TypeC, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a32, err := m32.AffinityAt(chem.TypeC, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interpolation is a convex combination, so the representation
+		// error at off-lattice points is bounded by the largest corner
+		// deviation: the two table paths differ by the float32
+		// roundings alone.
+		if d := math.Abs(a64 - a32); d > 1e-3+2.5e-4*math.Abs(a64) {
+			t.Fatalf("affinity diverges at %v: f64 %v vs f32 %v (|Δ|=%v)", p, a64, a32, d)
+		}
+		if d := math.Abs(m64.ElectrostaticAt(p) - m32.ElectrostaticAt(p)); d > 1e-3+2.5e-4*math.Abs(m64.ElectrostaticAt(p)) {
+			t.Fatalf("elec diverges at %v (|Δ|=%v)", p, d)
+		}
+	}
+}

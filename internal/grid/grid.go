@@ -75,14 +75,36 @@ const interactionCutoff = tables.Cutoff
 // "smooth 0.5" keyword); see tables.SmoothRadius.
 const smoothRadius = tables.SmoothRadius
 
-// Maps holds every precomputed map for one receptor.
+// Precision selects the lattice storage representation of a map set.
+// Float64 is the default; Float32 halves the in-memory (and therefore
+// cache) footprint of every map — the paper reports ~600 GB of map
+// files per execution, and the batched AD4 scorer's trilinear gathers
+// move half the bytes — at the cost of one rounding per stored value,
+// pinned against the analytic reference exactly like the radial
+// tables. Selected per-campaign (core.Config.GridFloat32).
+type Precision uint8
+
+const (
+	Float64 Precision = iota
+	Float32
+)
+
+// Maps holds every precomputed map for one receptor in exactly one of
+// the two storage representations (the other's slices stay nil).
 type Maps struct {
 	Spec     Spec
 	Receptor string
+	prec     Precision
 	affinity map[chem.AtomType][]float64
 	elec     []float64
 	desolv   []float64
+	affin32  map[chem.AtomType][]float32
+	elec32   []float32
+	desolv32 []float32
 }
+
+// Precision returns the lattice storage representation.
+func (m *Maps) Precision() Precision { return m.prec }
 
 // Types returns the atom types with affinity maps in sorted order, so
 // everything downstream of the map keys — the .fld index WriteFLD
@@ -91,8 +113,11 @@ type Maps struct {
 // iteration order into output files; scilint's detflow taint analysis
 // caught it.)
 func (m *Maps) Types() []chem.AtomType {
-	out := make([]chem.AtomType, 0, len(m.affinity))
+	out := make([]chem.AtomType, 0, len(m.affinity)+len(m.affin32))
 	for t := range m.affinity {
+		out = append(out, t)
+	}
+	for t := range m.affin32 {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -102,7 +127,7 @@ func (m *Maps) Types() []chem.AtomType {
 // newMaps validates the inputs and allocates the map storage, returning
 // the deduplicated probe list in first-seen order (deterministic, so
 // slab workers and the reference path agree on slice identity).
-func newMaps(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps, []chem.AtomType, error) {
+func newMaps(receptor *chem.Molecule, spec Spec, types []chem.AtomType, prec Precision) (*Maps, []chem.AtomType, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -121,20 +146,31 @@ func newMaps(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps, 
 		}
 	}
 	n := spec.NumPoints()
-	m := &Maps{
-		Spec:     spec,
-		Receptor: receptor.Name,
-		affinity: make(map[chem.AtomType][]float64, len(types)),
-		elec:     make([]float64, n),
-		desolv:   make([]float64, n),
-	}
+	m := &Maps{Spec: spec, Receptor: receptor.Name, prec: prec}
 	var probes []chem.AtomType
-	for _, t := range types {
-		if _, dup := m.affinity[t]; dup {
-			continue
+	switch prec {
+	case Float32:
+		m.affin32 = make(map[chem.AtomType][]float32, len(types))
+		m.elec32 = make([]float32, n)
+		m.desolv32 = make([]float32, n)
+		for _, t := range types {
+			if _, dup := m.affin32[t]; dup {
+				continue
+			}
+			m.affin32[t] = make([]float32, n)
+			probes = append(probes, t)
 		}
-		m.affinity[t] = make([]float64, n)
-		probes = append(probes, t)
+	default:
+		m.affinity = make(map[chem.AtomType][]float64, len(types))
+		m.elec = make([]float64, n)
+		m.desolv = make([]float64, n)
+		for _, t := range types {
+			if _, dup := m.affinity[t]; dup {
+				continue
+			}
+			m.affinity[t] = make([]float64, n)
+			probes = append(probes, t)
+		}
 	}
 	return m, probes, nil
 }
@@ -163,6 +199,14 @@ type generator struct {
 	elec        []float64
 	desolv      []float64
 	probeSlices [][]float64
+
+	// float32 representation (GeneratePrec with Float32)
+	pairTbl32     [][]*tables.Radial32
+	elecTbl32     *tables.Radial32
+	desolvTbl32   *tables.Radial32
+	elec32        []float32
+	desolv32      []float32
+	probeSlices32 [][]float32
 }
 
 // slab fills every map value of z-plane k. affin is the worker's
@@ -207,6 +251,49 @@ func (g *generator) slab(k int, affin []float64) {
 	}
 }
 
+// slab32 is slab writing float32 lattice values from float32-node
+// radial tables (tables.Radial32). Accumulation stays float64; only
+// the table nodes and the final store are single precision, so the
+// error versus the analytic reference is the interpolation bound plus
+// the two roundings (pinned by TestGenerateFloat32MatchesReference).
+func (g *generator) slab32(k int, affin []float64) {
+	const cut2 = interactionCutoff * interactionCutoff
+	nx, ny := g.spec.NPts[0], g.spec.NPts[1]
+	idx := k * nx * ny
+	z := g.origin.Z + float64(k)*g.spec.Spacing
+	var spans [27][2]int32
+	for j := 0; j < ny; j++ {
+		y := g.origin.Y + float64(j)*g.spec.Spacing
+		for i := 0; i < nx; i++ {
+			p := chem.V(g.origin.X+float64(i)*g.spec.Spacing, y, z)
+			var elec, desolv float64
+			for pi := range affin {
+				affin[pi] = 0
+			}
+			ns := g.cells.spans(p, &spans)
+			for s := 0; s < ns; s++ {
+				for _, ai := range g.cells.idx[spans[s][0]:spans[s][1]] {
+					r2 := g.cells.atoms[ai].Dist2(p)
+					if r2 > cut2 {
+						continue
+					}
+					elec += g.charge[ai] * g.elecTbl32.At2(r2)
+					desolv += g.dcoef[ai] * g.desolvTbl32.At2(r2)
+					for pi, tbl := range g.pairTbl32[g.typeIdx[ai]] {
+						affin[pi] += tbl.At2(r2)
+					}
+				}
+			}
+			g.elec32[idx] = float32(clamp(elec))
+			g.desolv32[idx] = float32(clamp(desolv))
+			for pi := range affin {
+				g.probeSlices32[pi][idx] = float32(clamp(affin[pi]))
+			}
+			idx++
+		}
+	}
+}
+
 // Generate runs AutoGrid: for every lattice point, accumulate the
 // pairwise receptor interaction for each requested probe type, plus
 // electrostatic and desolvation terms, using the precomputed radial
@@ -223,27 +310,29 @@ func Generate(receptor *chem.Molecule, spec Spec, types []chem.AtomType) (*Maps,
 // alone and every lattice point is written exactly once, so the output
 // is bit-identical for every worker count.
 func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, workers int) (*Maps, error) {
-	m, probes, err := newMaps(receptor, spec, types)
+	return GeneratePrec(receptor, spec, types, workers, Float64)
+}
+
+// GeneratePrec is GenerateWorkers with an explicit lattice storage
+// representation; Float32 accumulates from the float32-node radial
+// tables and stores single-precision values. The worker-count
+// invariance guarantee holds for both representations.
+func GeneratePrec(receptor *chem.Molecule, spec Spec, types []chem.AtomType, workers int, prec Precision) (*Maps, error) {
+	m, probes, err := newMaps(receptor, spec, types, prec)
 	if err != nil {
 		return nil, err
 	}
 
 	g := &generator{
-		spec:      spec,
-		origin:    spec.Origin(),
-		cells:     buildCellList(receptor, interactionCutoff),
-		elecTbl:   tables.Electrostatic(),
-		desolvTbl: tables.Desolvation(),
-		elec:      m.elec,
-		desolv:    m.desolv,
-	}
-	for _, t := range probes {
-		g.probeSlices = append(g.probeSlices, m.affinity[t])
+		spec:   spec,
+		origin: spec.Origin(),
+		cells:  buildCellList(receptor, interactionCutoff),
 	}
 
 	// Per-atom coefficients and a dense receptor-type index so the
 	// inner loop is array lookups only.
 	recTypes := make(map[chem.AtomType]int32)
+	var typeList []chem.AtomType
 	g.charge = make([]float64, len(receptor.Atoms))
 	g.dcoef = make([]float64, len(receptor.Atoms))
 	g.typeIdx = make([]int32, len(receptor.Atoms))
@@ -252,17 +341,47 @@ func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, 
 		at := receptorAtomType(a)
 		ti, ok := recTypes[at]
 		if !ok {
-			ti = int32(len(g.pairTbl))
+			ti = int32(len(typeList))
 			recTypes[at] = ti
+			typeList = append(typeList, at)
+		}
+		g.charge[i] = a.Charge
+		g.dcoef[i] = tables.DesolvCoeff(at.Params(), a.Charge)
+		g.typeIdx[i] = ti
+	}
+
+	var slab func(k int, affin []float64)
+	switch prec {
+	case Float32:
+		g.elecTbl32 = tables.Electrostatic32()
+		g.desolvTbl32 = tables.Desolvation32()
+		g.elec32, g.desolv32 = m.elec32, m.desolv32
+		for _, t := range probes {
+			g.probeSlices32 = append(g.probeSlices32, m.affin32[t])
+		}
+		for _, at := range typeList {
+			row := make([]*tables.Radial32, len(probes))
+			for pi, pt := range probes {
+				row[pi] = tables.AD4Smoothed32(pt, at)
+			}
+			g.pairTbl32 = append(g.pairTbl32, row)
+		}
+		slab = g.slab32
+	default:
+		g.elecTbl = tables.Electrostatic()
+		g.desolvTbl = tables.Desolvation()
+		g.elec, g.desolv = m.elec, m.desolv
+		for _, t := range probes {
+			g.probeSlices = append(g.probeSlices, m.affinity[t])
+		}
+		for _, at := range typeList {
 			row := make([]*tables.Radial, len(probes))
 			for pi, pt := range probes {
 				row[pi] = tables.AD4Smoothed(pt, at)
 			}
 			g.pairTbl = append(g.pairTbl, row)
 		}
-		g.charge[i] = a.Charge
-		g.dcoef[i] = tables.DesolvCoeff(at.Params(), a.Charge)
-		g.typeIdx[i] = ti
+		slab = g.slab
 	}
 
 	nz := spec.NPts[2]
@@ -281,7 +400,7 @@ func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, 
 	if workers <= 1 {
 		affin := make([]float64, len(probes))
 		for k := 0; k < nz; k++ {
-			g.slab(k, affin)
+			slab(k, affin)
 		}
 		return m, nil
 	}
@@ -293,7 +412,7 @@ func GenerateWorkers(receptor *chem.Molecule, spec Spec, types []chem.AtomType, 
 			defer wg.Done()
 			affin := make([]float64, len(probes))
 			for k := range slabs {
-				g.slab(k, affin)
+				slab(k, affin)
 			}
 		}()
 	}

@@ -119,6 +119,28 @@ func LookupEnergy(r float64) float64 {
 	return tableAt2(r * r)
 }
 
+// soaLane reads one pose's coordinate component out of a batched SoA
+// lane.
+//
+//unit: result=Å
+func soaLane(lane []float64, k int) float64 {
+	return lane[k]
+}
+
+// BatchIntraAccum is the unit-correct batched pair-major kernel: the
+// squared pair distance goes to the r²-indexed lookup untouched, the
+// disciplined counterpart of the sick fixture's sqrt-then-lookup swap.
+func BatchIntraAccum(xs, ys, zs []float64, stride, i, j int, out []float64) {
+	for p := range out {
+		base := p * stride
+		dx := soaLane(xs, base+i) - soaLane(xs, base+j)
+		dy := soaLane(ys, base+i) - soaLane(ys, base+j)
+		dz := soaLane(zs, base+i) - soaLane(zs, base+j)
+		r2 := dx*dx + dy*dy + dz*dz
+		out[p] += tableAt2(r2)
+	}
+}
+
 // SortedKeys collects map keys and sorts them, so the iteration order
 // never reaches the output — the sanitized idiom detflow accepts.
 func SortedKeys(m map[string]int) []string {

@@ -6,6 +6,7 @@
 package sick
 
 import (
+	"math"
 	"strconv"
 	"sync"
 	"time"
@@ -124,4 +125,29 @@ func tableAt2(r2 float64) float64 {
 //unit: r=Å
 func LookupEnergy(r float64) float64 {
 	return tableAt2(r)
+}
+
+// soaLane reads one pose's coordinate component out of a batched SoA
+// lane.
+//
+//unit: result=Å
+func soaLane(lane []float64, k int) float64 {
+	return lane[k]
+}
+
+// BatchIntraAccum mirrors the batched pair-major intramolecular
+// kernel — one atom pair, poses inner, SoA coordinate lanes — and
+// takes the square root before the r²-indexed lookup: the r-vs-r²
+// swap a batched rewrite invites, since r and r² both sit in scope in
+// the inner loop (dimcheck, error).
+func BatchIntraAccum(xs, ys, zs []float64, stride, i, j int, out []float64) {
+	for p := range out {
+		base := p * stride
+		dx := soaLane(xs, base+i) - soaLane(xs, base+j)
+		dy := soaLane(ys, base+i) - soaLane(ys, base+j)
+		dz := soaLane(zs, base+i) - soaLane(zs, base+j)
+		r2 := dx*dx + dy*dy + dz*dz
+		r := math.Sqrt(r2)
+		out[p] += tableAt2(r)
+	}
 }

@@ -33,6 +33,9 @@ go test -run '^$' -bench . -benchtime=1x \
 echo "==> search benchmark smoke (dockbench -exp search -quick)"
 go run ./cmd/dockbench -exp search -quick -benchout ''
 
+echo "==> batched-scoring benchmark smoke (dockbench -exp kernels -quick)"
+go run ./cmd/dockbench -exp kernels -quick -benchout ''
+
 echo "==> pipeline runtime benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench BenchmarkPipelineRuntime -benchtime=1x .
 
