@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/dock"
 	"repro/internal/engine"
 	"repro/internal/stats"
 )
@@ -33,16 +34,17 @@ func main() {
 		failures  = flag.Bool("failures", true, "inject ~10% transient activation failures")
 		monitor   = flag.Bool("monitor", false, "print runtime-steering snapshots after each stage")
 		query     = flag.String("query", "", "SQL to run against the provenance database afterwards")
+		precision = flag.String("precision", "exact", "candidate scoring: exact, or tolerance (fast screens with exact confirmation; identical output, fewer cycles)")
 	)
 	flag.Parse()
 
-	if err := run(*mode, *receptors, *ligands, *cores, *effort, *seed, *hgGuard, *failures, *monitor, *query); err != nil {
+	if err := run(*mode, *receptors, *ligands, *cores, *effort, *seed, *hgGuard, *failures, *monitor, *query, *precision); err != nil {
 		fmt.Fprintln(os.Stderr, "scidock:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode string, receptors, ligands, cores int, effort string, seed int64, hgGuard, failures, monitor bool, query string) error {
+func run(mode string, receptors, ligands, cores int, effort string, seed int64, hgGuard, failures, monitor bool, query, precision string) error {
 	ds, err := data.Small(receptors, ligands)
 	if err != nil {
 		return err
@@ -86,6 +88,14 @@ func run(mode string, receptors, ligands, cores int, effort string, seed int64, 
 		cfg.Effort = core.QuickEffort()
 	default:
 		return fmt.Errorf("unknown effort %q", effort)
+	}
+	switch precision {
+	case "exact":
+		cfg.ScorePrecision = dock.PrecisionExact
+	case "tolerance":
+		cfg.ScorePrecision = dock.PrecisionTolerance
+	default:
+		return fmt.Errorf("unknown precision %q", precision)
 	}
 
 	fmt.Printf("SciDock %s: %d receptors × %d ligands = %d pairs on %d cores\n",

@@ -3,36 +3,39 @@ package main
 import "testing"
 
 func TestRunSmokeCampaign(t *testing.T) {
-	if err := run("ad4", 2, 1, 4, "smoke", 1, true, false, false, ""); err != nil {
+	if err := run("ad4", 2, 1, 4, "smoke", 1, true, false, false, "", "exact"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithMonitorAndQuery(t *testing.T) {
 	err := run("vina", 2, 1, 4, "smoke", 1, true, true, true,
-		"SELECT count(*) FROM ddocking")
+		"SELECT count(*) FROM ddocking", "tolerance")
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAdaptiveMode(t *testing.T) {
-	if err := run("adaptive", 3, 1, 4, "smoke", 1, true, false, false, ""); err != nil {
+	if err := run("adaptive", 3, 1, 4, "smoke", 1, true, false, false, "", "exact"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("nope", 2, 1, 4, "smoke", 1, true, false, false, ""); err == nil {
+	if err := run("nope", 2, 1, 4, "smoke", 1, true, false, false, "", "exact"); err == nil {
 		t.Error("bad mode accepted")
 	}
-	if err := run("ad4", 2, 1, 4, "nope", 1, true, false, false, ""); err == nil {
+	if err := run("ad4", 2, 1, 4, "nope", 1, true, false, false, "", "exact"); err == nil {
 		t.Error("bad effort accepted")
 	}
-	if err := run("ad4", 0, 1, 4, "smoke", 1, true, false, false, ""); err == nil {
+	if err := run("ad4", 0, 1, 4, "smoke", 1, true, false, false, "", "exact"); err == nil {
 		t.Error("zero receptors accepted")
 	}
-	if err := run("ad4", 2, 1, 4, "smoke", 1, true, false, false, "NOT SQL"); err == nil {
+	if err := run("ad4", 2, 1, 4, "smoke", 1, true, false, false, "NOT SQL", "exact"); err == nil {
 		t.Error("bad SQL accepted")
+	}
+	if err := run("ad4", 2, 1, 4, "smoke", 1, true, false, false, "", "nope"); err == nil {
+		t.Error("bad precision accepted")
 	}
 }

@@ -1,0 +1,196 @@
+package chem
+
+import "fmt"
+
+// Placement is the chem-level view of a docking pose: the rigid-body
+// transform plus one angle per rotatable bond. It exists so the batched
+// kinematics kernel can live next to the torsion tree without importing
+// the dock package; dock.Batch stages appended poses as Placements and
+// materializes them lane-wise in one ApplyTorsionsBatch call.
+type Placement struct {
+	Orientation Quat
+	Translation Vec3
+	Angles      []float64 // radians, one per rotatable bond
+}
+
+// KinScratch is the reusable per-owner scratch of ApplyTorsionsBatch:
+// the torsion effect-sets pre-filtered of their axis atoms, the mobile
+// atom set (the union of all effect-sets — every other atom is rigid
+// under torsion application and keeps its base coordinates), and one
+// AoS working conformation. Preparing it is O(atoms + moved) once per
+// (tree, base) pair; warm calls allocate nothing.
+//
+// A KinScratch is single-owner scratch, like dock.Workspace.
+type KinScratch struct {
+	tree    *TorsionTree
+	basePtr *Vec3     // identity of the base conformation scr mirrors
+	movedf  [][]int32 // per torsion: Moved minus the Axis2 atom
+	mobile  []int32   // ascending union of all movedf sets
+	scr     []Vec3    // working conformation, immobile entries == base
+	ready   bool
+}
+
+func (ks *KinScratch) prepare(t *TorsionTree, base []Vec3) {
+	var bp *Vec3
+	if len(base) > 0 {
+		bp = &base[0]
+	}
+	if ks.ready && ks.tree == t && ks.basePtr == bp && len(ks.scr) == len(base) {
+		return
+	}
+	ks.tree = t
+	ks.basePtr = bp
+	if cap(ks.movedf) < len(t.Torsions) {
+		ks.movedf = make([][]int32, len(t.Torsions))
+	}
+	ks.movedf = ks.movedf[:len(t.Torsions)]
+	isMobile := make([]bool, len(base))
+	for k, tor := range t.Torsions {
+		f := ks.movedf[k][:0]
+		for _, idx := range tor.Moved {
+			if idx == tor.Axis2 {
+				continue // axis atom does not move
+			}
+			f = append(f, int32(idx))
+			isMobile[idx] = true
+		}
+		ks.movedf[k] = f
+	}
+	ks.mobile = ks.mobile[:0]
+	for i, m := range isMobile {
+		if m {
+			ks.mobile = append(ks.mobile, int32(i))
+		}
+	}
+	// Full base copy once; per-pose resets only touch mobile entries,
+	// so immobile entries stay bit-equal to base forever.
+	ks.scr = append(ks.scr[:0], base...)
+	ks.ready = true
+}
+
+// ApplyTorsionsBatch materializes a window of poses straight into SoA
+// component lanes: for each pose it applies the torsion rotations to
+// the base conformation, re-centres, and applies the rigid-body
+// transform, storing atom i of pose p at xs[p*len(base)+i] (ys, zs
+// alike). The floating-point operation sequence per pose replicates
+// dock.Ligand.CoordsInto exactly — same torsion skip rule, same
+// rotation op order, same sequential centroid — so the lane values are
+// bit-identical (0-ULP) to the per-pose AoS path.
+//
+// Compared to staging each pose through an AoS buffer and copying, the
+// batch kernel resets only the mobile atoms between poses (rigid
+// fragments keep their base coordinates across the whole window) and
+// fuses the re-centre + rotate + translate into the lane store.
+//
+// Each lane must have length len(poses)*len(base). len(base) must
+// match the conformation the tree was built for, and the base contents
+// must not change between calls that reuse the same scratch (the
+// mobile-only reset assumes the immobile entries it cached stay
+// valid); dock ligands' base conformations are immutable, so this
+// holds by construction there.
+//
+//exact: bit-identical to the per-pose CoordsInto path
+func (t *TorsionTree) ApplyTorsionsBatch(ks *KinScratch, base []Vec3, poses []Placement, xs, ys, zs []float64) {
+	stride := len(base)
+	if want := len(poses) * stride; len(xs) != want || len(ys) != want || len(zs) != want {
+		panic(fmt.Sprintf("chem: ApplyTorsionsBatch lanes %d/%d/%d for %d poses of %d atoms",
+			len(xs), len(ys), len(zs), len(poses), stride))
+	}
+	if len(t.Torsions) == 0 {
+		// CoordsInto skips the re-centre when the ligand is rigid:
+		// the transform applies to the base conformation directly.
+		for p := range poses {
+			pl := &poses[p]
+			if len(pl.Angles) != 0 {
+				panic(fmt.Sprintf("chem: %d torsion angles for %d torsions", len(pl.Angles), len(t.Torsions)))
+			}
+			q := pl.Orientation.Normalize()
+			tr := pl.Translation
+			at := p * stride
+			for i, v := range base {
+				w := q.Rotate(v).Add(tr)
+				xs[at+i], ys[at+i], zs[at+i] = w.X, w.Y, w.Z
+			}
+		}
+		return
+	}
+	ks.prepare(t, base)
+	scr := ks.scr
+	for p := range poses {
+		pl := &poses[p]
+		if len(pl.Angles) != len(t.Torsions) {
+			panic(fmt.Sprintf("chem: %d torsion angles for %d torsions", len(pl.Angles), len(t.Torsions)))
+		}
+		// Reset only the atoms the previous pose may have moved.
+		for _, i := range ks.mobile {
+			scr[i] = base[i]
+		}
+		for k := range t.Torsions {
+			ang := pl.Angles[k]
+			if ang == 0 {
+				continue
+			}
+			tor := &t.Torsions[k]
+			a := scr[tor.Axis1]
+			b := scr[tor.Axis2]
+			q := AxisAngleQuat(b.Sub(a), ang)
+			for _, idx := range ks.movedf[k] {
+				scr[idx] = q.Rotate(scr[idx].Sub(b)).Add(b)
+			}
+		}
+		// Sequential centroid, replicating chem.Centroid's op order.
+		var c Vec3
+		for _, v := range scr {
+			c = c.Add(v)
+		}
+		c = c.Scale(1 / float64(stride))
+		q := pl.Orientation.Normalize()
+		tr := pl.Translation
+		at := p * stride
+		for i, v := range scr {
+			w := q.Rotate(v.Sub(c)).Add(tr)
+			xs[at+i], ys[at+i], zs[at+i] = w.X, w.Y, w.Z
+		}
+	}
+}
+
+// RigidUnits partitions the nAtoms atoms of the conformation into
+// rigid units: two atoms share a unit exactly when every torsion
+// either moves both or neither, so their pairwise distance is
+// invariant under any torsion angles (and under the rigid-body
+// transform). Unit 0 is the root fragment. The returned slice maps
+// atom index → unit id, with ids dense in [0, numUnits).
+//
+// The tolerance-bounded fast scorers use this to fold intramolecular
+// pairs inside one unit into a pose-independent constant evaluated
+// once at the base geometry.
+func (t *TorsionTree) RigidUnits(nAtoms int) []int32 {
+	// Signature of an atom = the set of torsions whose effect-set
+	// contains it (axis atoms excluded, matching the rotation rule).
+	// Torsions are tree-ordered root-outward, so the signature of any
+	// moved atom is a chain of nested effect-sets; hashing the chain
+	// incrementally gives each distinct signature a distinct id.
+	unit := make([]int32, nAtoms)
+	type sig struct {
+		parent int32 // unit id before this torsion was applied
+		tor    int32
+	}
+	ids := map[sig]int32{}
+	next := int32(1)
+	for k, tor := range t.Torsions {
+		for _, idx := range tor.Moved {
+			if idx == tor.Axis2 {
+				continue
+			}
+			s := sig{parent: unit[idx], tor: int32(k)}
+			id, ok := ids[s]
+			if !ok {
+				id = next
+				next++
+				ids[s] = id
+			}
+			unit[idx] = id
+		}
+	}
+	return unit
+}

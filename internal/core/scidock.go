@@ -568,7 +568,7 @@ func (b *builder) dockPair(rec, lig string) (*dock.Result, *dock.Ligand, error) 
 		params.PopSize = b.cfg.Effort.AD4PopSize
 		params.Gens = b.cfg.Effort.AD4Gens
 		params.Evals = b.cfg.Effort.AD4Evals
-		eng := &ad4.Engine{Params: params, Box: box}
+		eng := &ad4.Engine{Params: params, Box: box, Precision: b.cfg.ScorePrecision}
 		res, err := eng.Dock(scorer, dlig)
 		if err != nil {
 			return nil, nil, err
@@ -593,7 +593,8 @@ func (b *builder) dockPair(rec, lig string) (*dock.Result, *dock.Ligand, error) 
 		NumModes:       b.cfg.Effort.VinaModes,
 		Seed:           seed,
 	}
-	eng := &vina.Engine{Config: cfg, StepsPerRestart: b.cfg.Effort.VinaSteps}
+	eng := &vina.Engine{Config: cfg, StepsPerRestart: b.cfg.Effort.VinaSteps,
+		Precision: b.cfg.ScorePrecision}
 	res, err := eng.Dock(scorer, dlig)
 	if err != nil {
 		return nil, nil, err

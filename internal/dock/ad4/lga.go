@@ -35,6 +35,16 @@ type Engine struct {
 	// byte-identical for every value (pinned by
 	// TestDockMaxBatchDeterministic).
 	MaxBatch int
+	// Precision selects candidate evaluation: dock.PrecisionExact (the
+	// default) scores everything through the bit-exact kernels;
+	// dock.PrecisionTolerance screens Solis-Wets candidates — the bulk
+	// of an LGA run's evaluations — with the fast kernel and confirms
+	// survivors with the exact scorer. Population and offspring scores
+	// stay exact in both modes (they persist into tournaments and
+	// champion updates), so tolerance-mode trajectories — and hence
+	// Dock output — are byte-identical to exact mode for every
+	// MaxBatch value (pinned by TestDockPrecisionTolerance).
+	Precision dock.Precision
 }
 
 // Dock executes Params.Runs independent LGA runs and collects the
@@ -375,10 +385,20 @@ func wrap(a float64) float64 {
 // failures try the opposite direction, then shrink. The pose is
 // refined in place through the workspace — zero allocations per
 // candidate — and the improved energy returned.
+//
+// Under dock.PrecisionTolerance each candidate is screened with the
+// fast kernel first: beyond curFeb + FastMargin(curFeb) its exact
+// score provably cannot improve, so the reject (and the step-size
+// bookkeeping, which only sees the accept/reject bit) is identical to
+// the exact path's without paying for an exact evaluation; survivors
+// are exact-rescored and judged on the exact value. The eval counter
+// ticks for screened candidates too, keeping generation gating
+// bit-identical across modes.
 func (e *Engine) solisWets(r *rand.Rand, s *Scorer, ws *dock.Workspace, p *dock.Pose, feb float64, evals *int) float64 {
 	rho := 1.0
 	const rhoMin = 0.01
 	succ, fail := 0, 0
+	tol := e.Precision == dock.PrecisionTolerance
 	cur, cand := ws.Get(), ws.Get()
 	defer ws.Put(cur)
 	defer ws.Put(cand)
@@ -388,7 +408,10 @@ func (e *Engine) solisWets(r *rand.Rand, s *Scorer, ws *dock.Workspace, p *dock.
 		dock.PerturbInto(r, cand, *cur, rho*0.5, rho*0.15)
 		dock.ClampToBox(cand, e.Box)
 		*evals++
-		candFeb := s.Score(ws.Coords(*cand))
+		candFeb := math.Inf(1)
+		if !tol || s.ScoreFast1(ws.Batch(), *cand) <= curFeb+FastMargin(curFeb) {
+			candFeb = s.Score(ws.Coords(*cand))
+		}
 		if candFeb < curFeb {
 			cur, cand = cand, cur
 			curFeb = candFeb

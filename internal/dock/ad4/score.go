@@ -6,6 +6,7 @@ package ad4
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/chem"
 	"repro/internal/dock"
@@ -51,6 +52,11 @@ type Scorer struct {
 	desolvFld grid.Field
 	wq        []float64 // per atom: weightElec · charge
 	wdq       []float64 // per atom: weightDesolv · |charge|
+
+	// Tolerance-bounded fast path (score_fast.go), built lazily on the
+	// first ScoreBatchFast call so exact-only campaigns pay nothing.
+	fastOnce sync.Once
+	fast     *fastState
 }
 
 // intraPair is one precomputed intramolecular interaction: the atom

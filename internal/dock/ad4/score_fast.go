@@ -1,0 +1,328 @@
+package ad4
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/chem"
+	"repro/internal/dock"
+	"repro/internal/dock/tables"
+)
+
+// Pinned error bound of the fast path: for every pose,
+// |ScoreBatchFast − Score| ≤ FastAbsTol + FastRelTol·|Score|.
+// The intermolecular term reads the same grid lattices through
+// grid.InterAccumFast — float32 lerp arithmetic and accumulation,
+// relative ~1e-7 of the term magnitudes (out-of-box penalty
+// included), negligible against the intramolecular components. The
+// rest of the error comes from the intramolecular term — coarser
+// fast-table interpolation, float32 node rounding, float32
+// accumulation and the rigid-pair fold — damped by weightIntra. The
+// relative term is sized for self-clashed conformations sitting just
+// above the RMin² clamp, where the r⁻¹² wall spans orders of
+// magnitude and the coarser interpolation tracks it proportionally
+// (measured ~3e-4 relative on randomized clashes). The
+// dense+randomized sweep in TestAD4FastPathBound measures the worst
+// case at ≤ half of this envelope; see dock.PrecisionTolerance for why
+// an excursion could only cost extra exact evaluations.
+const (
+	FastAbsTol = 0.01 // kcal/mol
+	FastRelTol = 2e-3
+)
+
+// FastMargin is the screening slack at incumbent energy e: a candidate
+// whose fast score exceeds e + FastMargin(e) provably cannot beat e
+// exactly (FastRelTol < 1 makes e ↦ e + FastRelTol·|e| monotone).
+func FastMargin(e float64) float64 {
+	return FastAbsTol + FastRelTol*math.Abs(e)
+}
+
+// fastIntraPair is one cross-unit intramolecular pair of the fast
+// path: atom indices and its combined table's offset in the bank.
+type fastIntraPair struct {
+	i, j int32
+	off  int32
+}
+
+// Three-regime intra table geometry. The combined per-pair tables are
+// the fast path's cache hog — one table per distinct (type pair,
+// charge product), so the error budget buys footprint, not sharing —
+// and a uniform-in-r² grid wastes almost all of its nodes where the
+// potential is smooth. The wall regime [0, intraWallR2) keeps the
+// full fast-core resolution (512 bins/Ų, a subgrid of the exact core,
+// so the r⁻¹² wall's ~3e-4 relative interpolation error and every
+// sub-4 Ų H-bond feature are unchanged); the mid regime
+// [intraWallR2, SplitR2) drops to 40 bins/Ų, where the residual
+// repulsive slope of large-σ pairs keeps the relative lerp error
+// ≤ 42·h²/(8·r⁴) ≈ 2e-4; the tail [SplitR2, Cutoff²] reuses the fast
+// tail's 21.3 bins/Ų. 3553 nodes per table instead of 9217+9217 —
+// the whole bank drops under its previous Coulomb table alone —
+// with the worst case measured by TestAD4FastPathBound as always.
+const (
+	intraWallR2   = 4.0
+	intraWallBins = 2048 // intraWallR2 · tables.FastInvCore
+	intraMidBins  = 480  // 40 bins/Ų over [intraWallR2, SplitR2)
+	intraTailBins = tables.FastBinsTail
+	intraNNodes   = intraWallBins + intraMidBins + intraTailBins + 1
+	intraInvMid   = intraMidBins / (tables.SplitR2 - intraWallR2)
+)
+
+// intraNodeR2 returns the squared distance of intra table node i.
+func intraNodeR2(i int) float64 {
+	switch {
+	case i < intraWallBins:
+		return float64(i) / tables.FastInvCore
+	case i < intraWallBins+intraMidBins:
+		return intraWallR2 + float64(i-intraWallBins)/intraInvMid
+	default:
+		return tables.SplitR2 + float64(i-intraWallBins-intraMidBins)/tables.FastInvTail
+	}
+}
+
+// fastState is the lazily built fast-path precomputation: the merged
+// float32 bank of combined per-pair tables (the pair's vdW/H-bond
+// radial plus its qq·(1/r²) Coulomb term sampled on the three-regime
+// node grid, folded at build time so the hot loop runs ONE lerp per
+// pair-pose), the cross-unit pairs sorted by bank offset, and the
+// folded same-unit constant.
+type fastState struct {
+	bank       []float32
+	intraVar   []fastIntraPair
+	rigidConst float64 // exact-table intra energy of the same-unit pairs
+}
+
+// cutBoundaryEps guards the rigid fold: a same-unit pair whose base
+// separation sits within this band of the cutoff stays per-pose, so
+// rotation round-off can never flip its in-cutoff decision against the
+// folded constant.
+const cutBoundaryEps = 1e-6
+
+func (s *Scorer) ensureFast() *fastState {
+	s.fastOnce.Do(s.buildFast)
+	return s.fast
+}
+
+func (s *Scorer) buildFast() {
+	f := &fastState{}
+
+	// Same-unit pairs keep their separation under every pose, so their
+	// contribution — table term, r ≥ 0.5 Å clamp and Coulomb term alike
+	// — folds into one constant evaluated with the EXACT tables at the
+	// base geometry. Cross-unit pairs stay per-pose on the fast bank.
+	var varTbl []*tables.Radial
+	var varQQ []float64
+	unit := s.Lig.Tree.RigidUnits(s.Lig.Mol.NumAtoms())
+	base := s.Lig.Coords(dock.Pose{
+		Orientation: chem.QuatIdentity,
+		Torsions:    make([]float64, s.Lig.NumTorsions()),
+	})
+	const cut2 = intraCutoff * intraCutoff
+	for _, pr := range s.intraTbl {
+		r2 := base[pr.i].Dist2(base[pr.j])
+		if unit[pr.i] == unit[pr.j] && math.Abs(r2-cut2) > cutBoundaryEps {
+			if r2 <= cut2 {
+				if r2 < tables.RMin2 {
+					r2 = tables.RMin2
+				}
+				f.rigidConst += pr.tbl.At2(r2) + pr.qq/r2
+			}
+			continue
+		}
+		f.intraVar = append(f.intraVar, fastIntraPair{i: pr.i, j: pr.j})
+		varTbl = append(varTbl, pr.tbl)
+		varQQ = append(varQQ, pr.qq)
+	}
+
+	// Build the combined tables, deduplicated by (radial table, qq):
+	// node k holds tbl(r²ₖ) + qq/r²ₖ with sub-RMin² nodes pinned to
+	// the clamp value — RMin²·512 = node 128 exactly, so a clamped
+	// query interpolates the clamp value with zero error, like the
+	// exact path's r ≥ 0.5 Å clamp.
+	type combKey struct {
+		tbl *tables.Radial
+		qq  float64
+	}
+	var comb []float32
+	seen := make(map[combKey]int32, len(f.intraVar))
+	for k := range f.intraVar {
+		ck := combKey{varTbl[k], varQQ[k]}
+		o, ok := seen[ck]
+		if !ok {
+			o = int32(len(comb))
+			for i := 0; i < intraNNodes; i++ {
+				u := intraNodeR2(i)
+				if u < tables.RMin2 {
+					u = tables.RMin2
+				}
+				comb = append(comb, float32(varTbl[k].At2(u)+varQQ[k]/u))
+			}
+			seen[ck] = o
+		}
+		f.intraVar[k].off = o
+	}
+	// One padding node: the written-out interpolation in ScoreBatchFast
+	// drops the last-node clamp (the cutoff truncation already bounds
+	// the segment index), so a query landing exactly on a table's last
+	// node reads one element past it — the next table's first node, or
+	// this padding — at weight zero.
+	f.bank = append(comb, 0)
+
+	sort.Slice(f.intraVar, func(a, b int) bool {
+		pa, pb := f.intraVar[a], f.intraVar[b]
+		if pa.off != pb.off {
+			return pa.off < pb.off
+		}
+		if pa.i != pb.i {
+			return pa.i < pb.i
+		}
+		return pa.j < pb.j
+	})
+	s.fast = f
+}
+
+// ScoreBatchFast scores every pose of the batch through the
+// tolerance-bounded fast path, writing slot p's free energy into
+// out[p]: float32 intermolecular grid accumulation over the same
+// lattices (grid.InterAccumFast), fast intramolecular term over the
+// compact float32 bank with float32 per-pose accumulation and the
+// same-unit pairs folded into rigidConst, combined in float64.
+//
+// For every pose, |out[p] − Score(pose)| ≤ FastAbsTol +
+// FastRelTol·|Score(pose)| (pinned by TestAD4FastPathBound), and the
+// value is a pure function of the pose — batch size and chunking
+// cannot change it (pinned by TestAD4FastPathBatchInvariant).
+//
+// Safe for concurrent use; the lazy precomputation is
+// sync.Once-guarded.
+//
+//unit: out=kcal/mol
+func (s *Scorer) ScoreBatchFast(b *dock.Batch, out []float64) {
+	f := s.ensureFast()
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	out = out[:n]
+	xs, ys, zs := b.SoA()
+	stride := b.Stride()
+	acc := b.Scratch32(2 * n)
+	inter, intra := acc[:n], acc[n:]
+
+	for i := 0; i < stride; i++ {
+		s.Maps.InterAccumFast(s.atomTypes[i], xs[i:], ys[i:], zs[i:], stride,
+			weightVdw, s.wq[i], s.wdq[i], inter)
+	}
+
+	bank := f.bank
+	const cut2 = intraCutoff * intraCutoff
+	// Pair-major: the per-pair constants (indices, offset) hoist out of
+	// the pose loop and amortize across the whole window, and the batch
+	// SoA the inner loop streams is L2-resident. Each pair reads its
+	// combined vdW+Coulomb table on the three-regime grid — one lerp
+	// per pair-pose, written out because the call form is beyond the
+	// inliner's budget and this loop is the fast path's hottest. The
+	// truncated-and-clamped r2 keeps the segment index in
+	// [0, intraNNodes-1]; the bank's per-table successor node (next
+	// table's first node, or the final padding node) makes the +1 read
+	// safe when r2 lands exactly on the last node, where its weight is
+	// zero.
+	for _, pr := range f.intraVar {
+		i, j := int(pr.i), int(pr.j)
+		off := pr.off
+		xi, yi, zi := xs[i:], ys[i:], zs[i:]
+		xj, yj, zj := xs[j:], ys[j:], zs[j:]
+		// Unrolled by two with independent chains: each iteration's
+		// r² → coordinate → two table loads → lerp is one long
+		// dependency chain, so pairing poses keeps a second set of
+		// table loads in flight while the first resolves.
+		p := 0
+		at := 0
+		for ; p+1 < n; p += 2 {
+			at2 := at + stride
+			dxa := xi[at] - xj[at]
+			dya := yi[at] - yj[at]
+			dza := zi[at] - zj[at]
+			dxb := xi[at2] - xj[at2]
+			dyb := yi[at2] - yj[at2]
+			dzb := zi[at2] - zj[at2]
+			r2a := dxa*dxa + dya*dya + dza*dza
+			r2b := dxb*dxb + dyb*dyb + dzb*dzb
+			at += 2 * stride
+			if r2a <= cut2 {
+				if r2a < tables.RMin2 {
+					r2a = tables.RMin2
+				}
+				x := float32(r2a * tables.FastInvCore)
+				if r2a >= intraWallR2 {
+					x = float32(intraWallBins + (r2a-intraWallR2)*intraInvMid)
+				}
+				if r2a >= tables.SplitR2 {
+					x = float32(intraWallBins + intraMidBins + (r2a-tables.SplitR2)*tables.FastInvTail)
+				}
+				ib := int32(x)
+				w := x - float32(ib)
+				v := bank[off+ib]
+				intra[p] += v + w*(bank[off+ib+1]-v)
+			}
+			if r2b <= cut2 {
+				if r2b < tables.RMin2 {
+					r2b = tables.RMin2
+				}
+				x := float32(r2b * tables.FastInvCore)
+				if r2b >= intraWallR2 {
+					x = float32(intraWallBins + (r2b-intraWallR2)*intraInvMid)
+				}
+				if r2b >= tables.SplitR2 {
+					x = float32(intraWallBins + intraMidBins + (r2b-tables.SplitR2)*tables.FastInvTail)
+				}
+				ib := int32(x)
+				w := x - float32(ib)
+				v := bank[off+ib]
+				intra[p+1] += v + w*(bank[off+ib+1]-v)
+			}
+		}
+		for ; p < n; p++ {
+			dx := xi[at] - xj[at]
+			dy := yi[at] - yj[at]
+			dz := zi[at] - zj[at]
+			at += stride
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 > cut2 {
+				continue
+			}
+			if r2 < tables.RMin2 {
+				r2 = tables.RMin2
+			}
+			x := float32(r2 * tables.FastInvCore)
+			if r2 >= intraWallR2 {
+				x = float32(intraWallBins + (r2-intraWallR2)*intraInvMid)
+			}
+			if r2 >= tables.SplitR2 {
+				x = float32(intraWallBins + intraMidBins + (r2-tables.SplitR2)*tables.FastInvTail)
+			}
+			ib := int32(x)
+			w := x - float32(ib)
+			v := bank[off+ib]
+			intra[p] += v + w*(bank[off+ib+1]-v)
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		out[p] = float64(inter[p]) + weightIntra*(float64(intra[p])+f.rigidConst) + s.torsTerm
+	}
+}
+
+// ScoreFast1 runs the fast kernel on a single pose through the given
+// batch, which it leaves EMPTY — the batched LGA interleaves
+// Solis-Wets screens with its own generation-window fills on the same
+// batch and relies on the batch coming back reset. The fast
+// accumulation never mixes lanes, so the value is identical to the
+// pose's slot in any ScoreBatchFast window.
+func (s *Scorer) ScoreFast1(b *dock.Batch, p dock.Pose) float64 {
+	b.Reset()
+	b.Append(p)
+	var out [1]float64
+	s.ScoreBatchFast(b, out[:])
+	b.Reset()
+	return out[0]
+}

@@ -1,0 +1,228 @@
+package ad4
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dock"
+	"repro/internal/prep"
+)
+
+// TestAD4FastPathBound pins the published envelope of the fast path
+// at 2× headroom: over randomized poses (including self-clashing
+// conformations that hit the RMin² clamp) on two receptor/ligand
+// pairs, |ScoreBatchFast − Score| stays within HALF of FastAbsTol +
+// FastRelTol·|Score|. The Solis-Wets screen assumes the full
+// envelope; measuring at half keeps an excursion margin between what
+// we observe and what we rely on.
+func TestAD4FastPathBound(t *testing.T) {
+	for _, pair := range [][2]string{{"2HHN", "0E6"}, {"1S4V", "042"}} {
+		maps, lig, _ := setupPair(t, pair[0], pair[1])
+		s, err := NewScorer(maps, lig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := dock.NewWorkspace(lig)
+		poses := randomPoses(lig, 200, 29)
+		b := ws.Batch()
+		b.Reset()
+		for _, p := range poses {
+			b.Append(p)
+		}
+		fast := ws.Floats(len(poses))
+		s.ScoreBatchFast(b, fast)
+		worst := 0.0
+		for k, p := range poses {
+			exact := s.Score(ws.Coords(p))
+			envelope := 0.5 * FastMargin(exact)
+			err := math.Abs(fast[k] - exact)
+			if r := err / envelope; r > worst {
+				worst = r
+			}
+			if err > envelope {
+				t.Errorf("%s/%s pose %d: |fast-exact| = |%.9g - %.9g| = %.3g beyond half-envelope %.3g",
+					pair[0], pair[1], k, fast[k], exact, err, envelope)
+			}
+		}
+		t.Logf("%s/%s: worst |fast-exact| at %.2f%% of the half-envelope", pair[0], pair[1], worst*100)
+	}
+}
+
+// TestAD4FastPathBatchInvariant pins that a pose's fast value is a
+// pure function of the pose: batch windows of different sizes and the
+// single-pose ScoreFast1 yield bit-identical values (==, no epsilon).
+// The Solis-Wets screen scores candidates one at a time through
+// ScoreFast1; reproducibility across MaxBatch depends on those values
+// never depending on window geometry.
+func TestAD4FastPathBatchInvariant(t *testing.T) {
+	maps, lig, _ := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := dock.NewWorkspace(lig)
+	poses := randomPoses(lig, 64, 43)
+	ref := make([]float64, len(poses))
+	b := ws.Batch()
+	for k, p := range poses {
+		ref[k] = s.ScoreFast1(b, p)
+	}
+	for _, window := range []int{1, 7, 64} {
+		for base := 0; base < len(poses); base += window {
+			end := base + window
+			if end > len(poses) {
+				end = len(poses)
+			}
+			b.Reset()
+			for _, p := range poses[base:end] {
+				b.Append(p)
+			}
+			out := ws.Floats(end - base)
+			s.ScoreBatchFast(b, out)
+			for k, v := range out {
+				if v != ref[base+k] {
+					t.Fatalf("window %d slot %d: %.17g != ScoreFast1 %.17g",
+						window, base+k, v, ref[base+k])
+				}
+			}
+		}
+	}
+}
+
+// TestAD4FastPathZeroAllocs pins the steady-state allocation contract
+// of the fast loop, including the single-pose screen used by
+// Solis-Wets: once warm, refill + ScoreBatchFast + ScoreFast1
+// allocate nothing.
+func TestAD4FastPathZeroAllocs(t *testing.T) {
+	maps, lig, _ := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := dock.NewWorkspace(lig)
+	poses := randomPoses(lig, 50, 7)
+	b := ws.Batch()
+	out := ws.Floats(len(poses))
+	run := func() {
+		b.Reset()
+		for _, p := range poses {
+			b.Append(p)
+		}
+		s.ScoreBatchFast(b, out)
+		s.ScoreFast1(b, poses[0])
+	}
+	run() // warm the buffers (and the lazy fast state) to the high-water mark
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("steady-state fast loop allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAD4FastPathConcurrent exercises the lazy sync.Once build under
+// -race: many goroutines make their FIRST fast calls on a shared
+// scorer concurrently, each with its own workspace, and all must see
+// the same values.
+func TestAD4FastPathConcurrent(t *testing.T) {
+	maps, lig, _ := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poses := randomPoses(lig, 16, 5)
+	want := make([]float64, len(poses))
+	{
+		probe, _ := NewScorer(maps, lig)
+		ws := dock.NewWorkspace(lig)
+		b := ws.Batch()
+		for k, p := range poses {
+			want[k] = probe.ScoreFast1(b, p)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := dock.NewWorkspace(lig)
+			b := ws.Batch()
+			b.Reset()
+			for _, p := range poses {
+				b.Append(p)
+			}
+			out := ws.Floats(len(poses))
+			s.ScoreBatchFast(b, out)
+			for k, v := range out {
+				if v != want[k] {
+					t.Errorf("slot %d: concurrent %.17g != sequential %.17g", k, v, want[k])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkScoreBatchFast50 measures the fast path at the LGA flush
+// window scale; compare with BenchmarkScoreBatch50 for the per-pose
+// speedup the tolerance mode buys.
+func BenchmarkScoreBatchFast50(bm *testing.B) {
+	maps, lig, _ := setupPair(bm, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		bm.Fatal(err)
+	}
+	ws := dock.NewWorkspace(lig)
+	poses := randomPoses(lig, 50, 7)
+	b := ws.Batch()
+	out := ws.Floats(len(poses))
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		b.Reset()
+		for _, p := range poses {
+			b.Append(p)
+		}
+		s.ScoreBatchFast(b, out)
+	}
+}
+
+// TestDockPrecisionTolerance is the golden pin of tolerance mode: the
+// full Dock output under dock.PrecisionTolerance is byte-identical to
+// exact mode at EVERY MaxBatch value, including the per-pose reference
+// path. Only the Solis-Wets candidate screen uses the fast kernel —
+// a screened-out candidate provably cannot beat the incumbent, every
+// survivor is scored exactly, and the eval budget counts both the same
+// — so the LGA trajectory and the final result are unchanged.
+func TestDockPrecisionTolerance(t *testing.T) {
+	maps, lig, box := setupPair(t, "2HHN", "0E6")
+	s, err := NewScorer(maps, lig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := prep.DefaultDPF("l", "f", 77)
+	params.Runs, params.PopSize, params.Gens, params.Evals = 3, 14, 5, 2500
+	var want string
+	for _, maxBatch := range []int{-1, 0, 1, 2, 7, 64} {
+		exact := &Engine{Params: params, Box: box, Workers: 1, MaxBatch: maxBatch}
+		res, err := exact.Dock(s, lig)
+		if err != nil {
+			t.Fatalf("exact maxBatch=%d: %v", maxBatch, err)
+		}
+		got := fmt.Sprintf("%+v", res)
+		if maxBatch == -1 {
+			want = got
+		} else if got != want {
+			t.Fatalf("exact maxBatch=%d differs from sequential reference", maxBatch)
+		}
+		tol := &Engine{Params: params, Box: box, Workers: 1, MaxBatch: maxBatch,
+			Precision: dock.PrecisionTolerance}
+		tres, err := tol.Dock(s, lig)
+		if err != nil {
+			t.Fatalf("tolerance maxBatch=%d: %v", maxBatch, err)
+		}
+		if tgot := fmt.Sprintf("%+v", tres); tgot != want {
+			t.Fatalf("tolerance maxBatch=%d result differs from exact:\n%s\nvs\n%s",
+				maxBatch, tgot, want)
+		}
+	}
+}

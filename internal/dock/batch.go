@@ -1,6 +1,10 @@
 package dock
 
-import "repro/internal/chem"
+import (
+	"fmt"
+
+	"repro/internal/chem"
+)
 
 // Batch is a structure-of-arrays pose coordinate buffer: the
 // materialized coordinates of up to capPoses candidate poses stored as
@@ -11,17 +15,27 @@ import "repro/internal/chem"
 // batched engines get their cache locality (DESIGN.md §4 "Batched
 // scoring and SoA layout").
 //
+// Append only stages the pose parameters; materialization into the
+// component lanes is deferred to the first SoA/At call and runs as one
+// chem.TorsionTree.ApplyTorsionsBatch kernel over the whole appended
+// window, so rigid fragments are reset once per pose instead of the
+// old per-pose AoS staging copy (DESIGN.md "Tolerance-bounded scoring
+// and batched kinematics").
+//
 // A Batch is NOT safe for concurrent use; like Workspace, each search
 // worker owns its own. Appending beyond the high-water mark grows the
-// component slices; once warm, Reset/Append cycles allocate nothing.
+// storage; once warm, Reset/Append cycles allocate nothing.
 type Batch struct {
 	lig        *Ligand
 	stride     int
-	n          int
+	n          int              // poses appended
+	mat        int              // poses materialized into the lanes
+	poses      []chem.Placement // staged parameters, len == high-water mark
+	kin        chem.KinScratch
 	xs, ys, zs []float64
-	scratch    []chem.Vec3 // per-pose AoS staging for CoordsIntoBatch
-	acc        []float64   // scorer per-pose accumulator scratch
-	hits       []Hit       // scorer hit gather scratch
+	acc        []float64 // scorer per-pose accumulator scratch
+	acc32      []float32 // fast-path float32 accumulator scratch
+	hits       []Hit     // scorer hit gather scratch
 }
 
 // Hit is one in-cutoff candidate of a batched scoring query: its
@@ -42,12 +56,12 @@ func NewBatch(lig *Ligand, capPoses int) *Batch {
 	}
 	stride := lig.Mol.NumAtoms()
 	return &Batch{
-		lig:     lig,
-		stride:  stride,
-		xs:      make([]float64, 0, capPoses*stride),
-		ys:      make([]float64, 0, capPoses*stride),
-		zs:      make([]float64, 0, capPoses*stride),
-		scratch: make([]chem.Vec3, 0, stride),
+		lig:    lig,
+		stride: stride,
+		poses:  make([]chem.Placement, 0, capPoses),
+		xs:     make([]float64, 0, capPoses*stride),
+		ys:     make([]float64, 0, capPoses*stride),
+		zs:     make([]float64, 0, capPoses*stride),
 	}
 }
 
@@ -62,11 +76,13 @@ func (b *Batch) Len() int { return b.n }
 func (b *Batch) Stride() int { return b.stride }
 
 // Reset empties the batch, keeping its storage.
-func (b *Batch) Reset() { b.n = 0 }
+func (b *Batch) Reset() { b.n, b.mat = 0, 0 }
 
-// SoA returns the three component slices, each Len()*Stride() long.
-// They alias the batch storage and are overwritten by Reset/Append.
+// SoA returns the three component slices, each Len()*Stride() long,
+// materializing any poses appended since the last call. They alias the
+// batch storage and are overwritten by Reset/Append.
 func (b *Batch) SoA() (xs, ys, zs []float64) {
+	b.materialize()
 	n := b.n * b.stride
 	return b.xs[:n], b.ys[:n], b.zs[:n]
 }
@@ -74,28 +90,57 @@ func (b *Batch) SoA() (xs, ys, zs []float64) {
 // At returns pose p's atom i coordinates (test and debugging helper;
 // the scoring kernels read the component slices directly).
 func (b *Batch) At(p, i int) chem.Vec3 {
+	b.materialize()
 	at := p*b.stride + i
 	return chem.V(b.xs[at], b.ys[at], b.zs[at])
 }
 
-// Append materializes the pose's coordinates into the next batch slot
-// and returns the slot index. The floating-point operation sequence is
-// exactly Ligand.CoordsInto's, so a batched score of slot p is
-// bit-identical to scoring ws.Coords(pose) for the same pose.
+// Append stages the pose's parameters into the next batch slot and
+// returns the slot index. Coordinates are materialized lazily, but the
+// floating-point operation sequence of the batched kernel is exactly
+// Ligand.CoordsInto's, so a batched score of slot p is bit-identical
+// to scoring ws.Coords(pose) for the same pose. The pose is copied:
+// later mutations of p or its torsion slice do not affect the slot.
 func (b *Batch) Append(p Pose) int {
+	if len(p.Torsions) != b.lig.NumTorsions() {
+		panic(fmt.Sprintf("dock: pose has %d torsions, ligand %d", len(p.Torsions), b.lig.NumTorsions()))
+	}
 	slot := b.n
-	at := slot * b.stride
-	need := at + b.stride
+	if slot < len(b.poses) {
+		pl := &b.poses[slot]
+		pl.Orientation = p.Orientation
+		pl.Translation = p.Translation
+		pl.Angles = append(pl.Angles[:0], p.Torsions...)
+	} else {
+		b.poses = append(b.poses, chem.Placement{
+			Orientation: p.Orientation,
+			Translation: p.Translation,
+			Angles:      append(make([]float64, 0, cap(p.Torsions)), p.Torsions...),
+		})
+	}
+	b.n++
+	return slot
+}
+
+// materialize runs the batched kinematics kernel over the poses staged
+// since the last materialization, growing the component lanes as
+// needed (already-materialized slots are preserved across growth).
+func (b *Batch) materialize() {
+	if b.mat == b.n {
+		return
+	}
+	need := b.n * b.stride
+	have := b.mat * b.stride
 	if cap(b.xs) >= need {
 		b.xs, b.ys, b.zs = b.xs[:need], b.ys[:need], b.zs[:need]
 	} else {
-		b.xs = append(b.xs[:cap(b.xs)], make([]float64, need-cap(b.xs))...)
-		b.ys = append(b.ys[:cap(b.ys)], make([]float64, need-cap(b.ys))...)
-		b.zs = append(b.zs[:cap(b.zs)], make([]float64, need-cap(b.zs))...)
+		b.xs = append(b.xs[:have], make([]float64, need-have)...)
+		b.ys = append(b.ys[:have], make([]float64, need-have)...)
+		b.zs = append(b.zs[:have], make([]float64, need-have)...)
 	}
-	b.scratch = b.lig.CoordsIntoBatch(p, b.xs[at:need:need], b.ys[at:need:need], b.zs[at:need:need], b.scratch)
-	b.n++
-	return slot
+	b.lig.Tree.ApplyTorsionsBatch(&b.kin, b.lig.base, b.poses[b.mat:b.n],
+		b.xs[have:need:need], b.ys[have:need:need], b.zs[have:need:need])
+	b.mat = b.n
 }
 
 // Scratch returns a zeroed float64 accumulator of length n, reused
@@ -111,6 +156,20 @@ func (b *Batch) Scratch(n int) []float64 {
 		b.acc[i] = 0
 	}
 	return b.acc
+}
+
+// Scratch32 returns a zeroed float32 accumulator of length n, reused
+// across calls — the tolerance-bounded fast scorers' counterpart of
+// Scratch. Distinct storage from Scratch, so a kernel may use both.
+func (b *Batch) Scratch32(n int) []float32 {
+	if cap(b.acc32) < n {
+		b.acc32 = make([]float32, n)
+	}
+	b.acc32 = b.acc32[:n]
+	for i := range b.acc32 {
+		b.acc32[i] = 0
+	}
+	return b.acc32
 }
 
 // Hits returns a gather buffer of power-of-two length ≥ n, reused
@@ -129,20 +188,4 @@ func (b *Batch) Hits(n int) []Hit {
 		b.hits = make([]Hit, p2)
 	}
 	return b.hits[:cap(b.hits)]
-}
-
-// CoordsIntoBatch is CoordsInto writing the materialized coordinates
-// component-wise into xs/ys/zs (each len l.Mol.NumAtoms()), staging
-// the torsion application in scratch (grown as needed and returned for
-// reuse). Every floating-point operation matches CoordsInto exactly —
-// the SoA store happens after the final rotate-and-translate — so the
-// component values are bit-identical to the AoS path.
-func (l *Ligand) CoordsIntoBatch(p Pose, xs, ys, zs []float64, scratch []chem.Vec3) []chem.Vec3 {
-	coords := l.CoordsInto(p, scratch)
-	for i, v := range coords {
-		xs[i] = v.X
-		ys[i] = v.Y
-		zs[i] = v.Z
-	}
-	return coords
 }

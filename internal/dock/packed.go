@@ -53,6 +53,16 @@ type PackedNeighbors struct {
 	atoms   []PackedAtom
 	entries []CellEntry // concatenated per-base-cell neighbor lists
 	eoff    []int32     // per cell: offset into entries, len = #cells + 1
+
+	// Fine-cell candidate lists (see buildFine): per fine cell, the
+	// packed atoms that can be within the cutoff of any query point the
+	// cell is responsible for, copied in ascending packed order. nil
+	// when the receptor is too large for the duplicated storage; Gather
+	// then falls back to the coarse entry walk.
+	fatoms []PackedAtom
+	foff   []int32 // per fine cell: offset into fatoms, len = #cells + 1
+	fdims  [3]int
+	finv   float64 // reciprocal fine cell size
 }
 
 // pruneSlack inflates the prune-sphere radius so rounding — of the
@@ -128,7 +138,106 @@ func NewPackedNeighbors(nl *NeighborList, class func(atom int32) int32) *PackedN
 			}
 		}
 	}
+	pn.buildFine()
 	return pn
+}
+
+// fineGatherMaxAtoms gates the fine-cell candidate lists: each packed
+// atom is duplicated into every fine cell it can interact with (~80×
+// at half-cutoff cells), so the lists are built only when the packed
+// set is small enough that the duplicated storage stays in the tens of
+// megabytes. Above the gate Gather uses the coarse entry walk.
+const fineGatherMaxAtoms = 8192
+
+// buildFine precomputes per-fine-cell candidate lists: the box is
+// tiled with cells of half the cutoff, and each cell stores a copy of
+// every packed atom within one cutoff (plus pruneSlack) of the cell
+// box, in ascending packed order. A query resolves its fine cell with
+// one multiply per axis and walks a single contiguous span — the
+// candidate volume is the cell box dilated by the cutoff (~4× tighter
+// than the coarse 27-cell neighborhood after its prune spheres), and
+// the per-query geometry tests disappear entirely.
+//
+// Order and membership of Gather's output are unchanged: the span
+// holds a superset of the in-cutoff atoms in ascending packed order —
+// the order the coarse raster walk emits them — and the same exact
+// r² ≤ cut² test decides membership.
+//
+// Boundary cells need no special casing for the clamped out-of-box
+// queries Gather admits (up to one cutoff outside the box): a clamped
+// query's preimage extends the boundary cell's box only beyond the
+// atom bounding box, where dilation by the cutoff reaches no atom the
+// cell-box dilation does not already reach.
+func (pn *PackedNeighbors) buildFine() {
+	if len(pn.atoms) == 0 || len(pn.atoms) > fineGatherMaxAtoms {
+		return
+	}
+	nl := pn.nl
+	h := nl.cutoff / 2
+	ext := nl.max.Sub(nl.min)
+	var dims [3]int
+	for d, e := range [3]float64{ext.X, ext.Y, ext.Z} {
+		n := int(math.Ceil(e / h))
+		if n < 1 {
+			n = 1
+		}
+		dims[d] = n
+	}
+	ncells := dims[0] * dims[1] * dims[2]
+	reach := nl.cutoff + pruneSlack
+	reach2 := reach * reach
+	foff := make([]int32, ncells+1)
+	var fatoms []PackedAtom
+	c := 0
+	for z := 0; z < dims[2]; z++ {
+		loZ := nl.min.Z + float64(z)*h
+		for y := 0; y < dims[1]; y++ {
+			loY := nl.min.Y + float64(y)*h
+			for x := 0; x < dims[0]; x++ {
+				loX := nl.min.X + float64(x)*h
+				for i := range pn.atoms {
+					a := &pn.atoms[i]
+					dx := boxDist(a.X, loX, loX+h)
+					dy := boxDist(a.Y, loY, loY+h)
+					dz := boxDist(a.Z, loZ, loZ+h)
+					if dx*dx+dy*dy+dz*dz <= reach2 {
+						fatoms = append(fatoms, *a)
+					}
+				}
+				c++
+				foff[c] = int32(len(fatoms))
+			}
+		}
+	}
+	pn.fatoms = fatoms
+	pn.foff = foff
+	pn.fdims = dims
+	pn.finv = 1 / h
+}
+
+// clampCell clamps a raw fine-cell coordinate into [0, n): queries up
+// to one cutoff outside the box land in the nearest boundary cell,
+// whose candidate list covers them (see buildFine).
+func clampCell(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// boxDist is the distance from v to the interval [lo, hi] (zero
+// inside).
+func boxDist(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo - v
+	}
+	if v > hi {
+		return v - hi
+	}
+	return 0
 }
 
 // pruneSphere builds the conservative prune-sphere entry of one cell's
@@ -193,9 +302,65 @@ func (pn *PackedNeighbors) Gather(p chem.Vec3, cut2 float64, hits []Hit) int {
 		p.Z < nl.min.Z-nl.cutoff || p.Z > nl.max.Z+nl.cutoff {
 		return 0
 	}
+	px, py, pz := p.X, p.Y, p.Z
+	if pn.fatoms != nil {
+		// Fine path: one clamp-located cell, one contiguous pre-pruned
+		// candidate span, the same branch-free walk.
+		cx := clampCell(int((px-nl.min.X)*pn.finv), pn.fdims[0])
+		cy := clampCell(int((py-nl.min.Y)*pn.finv), pn.fdims[1])
+		cz := clampCell(int((pz-nl.min.Z)*pn.finv), pn.fdims[2])
+		c := (cz*pn.fdims[1]+cy)*pn.fdims[0] + cx
+		sp := pn.fatoms[pn.foff[c]:pn.foff[c+1]]
+		mask := len(hits) - 1
+		m := 0
+		j := 0
+		for ; j+1 < len(sp); j += 2 {
+			ra := &sp[j]
+			rb := &sp[j+1]
+			dx0 := ra.X - px
+			dy0 := ra.Y - py
+			dz0 := ra.Z - pz
+			r20 := dx0*dx0 + dy0*dy0 + dz0*dz0
+			h := &hits[m&mask]
+			h.R2 = r20
+			h.Cls = ra.Cls
+			hit := 0
+			if r20 <= cut2 {
+				hit = 1
+			}
+			m += hit
+			dx1 := rb.X - px
+			dy1 := rb.Y - py
+			dz1 := rb.Z - pz
+			r21 := dx1*dx1 + dy1*dy1 + dz1*dz1
+			h = &hits[m&mask]
+			h.R2 = r21
+			h.Cls = rb.Cls
+			hit = 0
+			if r21 <= cut2 {
+				hit = 1
+			}
+			m += hit
+		}
+		if j < len(sp) {
+			ra := &sp[j]
+			dx := ra.X - px
+			dy := ra.Y - py
+			dz := ra.Z - pz
+			r2 := dx*dx + dy*dy + dz*dz
+			h := &hits[m&mask]
+			h.R2 = r2
+			h.Cls = ra.Cls
+			hit := 0
+			if r2 <= cut2 {
+				hit = 1
+			}
+			m += hit
+		}
+		return m
+	}
 	b := nl.index(nl.cellOf(p))
 	ents := pn.entries[pn.eoff[b]:pn.eoff[b+1]]
-	px, py, pz := p.X, p.Y, p.Z
 	pxf, pyf, pzf := float32(px), float32(py), float32(pz)
 	var spans [27][2]int32
 	ns := 0

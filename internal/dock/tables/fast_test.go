@@ -1,0 +1,148 @@
+package tables
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chem"
+)
+
+// TestNewFastBankLayout pins the bank construction properties: one
+// FastNNodes slot per distinct table, pointer-deduplicated, and every
+// fast node bit-equal to the float32 rounding of the exact node it
+// subsamples (core node i ↦ exact node 2i, tail node j ↦ exact node
+// BinsCore+4j) — the fast grid is a sub-grid of the exact one.
+func TestNewFastBankLayout(t *testing.T) {
+	tc := Vina(chem.TypeC, chem.TypeC)
+	tn := Vina(chem.TypeC, chem.TypeN)
+	ta := AD4Pair(chem.TypeC, chem.TypeOA)
+	bank, offs := NewFastBank([]*Radial{tc, tn, tc, ta, tn})
+	if len(offs) != 5 {
+		t.Fatalf("offs len %d, want 5", len(offs))
+	}
+	if offs[0] != offs[2] || offs[1] != offs[4] {
+		t.Errorf("duplicate tables not deduplicated: %v", offs)
+	}
+	if offs[0] == offs[1] || offs[0] == offs[3] || offs[1] == offs[3] {
+		t.Errorf("distinct tables share a slot: %v", offs)
+	}
+	if want := 3 * FastNNodes; len(bank) != want {
+		t.Fatalf("bank len %d, want %d (3 unique tables)", len(bank), want)
+	}
+	for _, pair := range []struct {
+		tbl *Radial
+		off int32
+	}{{tc, offs[0]}, {tn, offs[1]}, {ta, offs[3]}} {
+		for i := 0; i < FastBinsCore; i++ {
+			if got, want := pair.tbl.vals[i*(BinsCore/FastBinsCore)], pair.tbl.vals[2*i]; got != want {
+				t.Fatalf("core subsample stride broken at %d", i)
+			}
+			if bank[pair.off+int32(i)] != float32(pair.tbl.vals[2*i]) {
+				t.Fatalf("core node %d not a rounding of exact node %d", i, 2*i)
+			}
+		}
+		for j := 0; j <= FastBinsTail; j++ {
+			if bank[pair.off+FastBinsCore+int32(j)] != float32(pair.tbl.vals[BinsCore+4*j]) {
+				t.Fatalf("tail node %d not a rounding of exact node %d", j, BinsCore+4*j)
+			}
+		}
+	}
+}
+
+// TestFastAtNodesExact pins that FastAt evaluated exactly on a fast
+// node coordinate returns that node: the interpolation weight is zero
+// there, so the fast table agrees with the exact table to one float32
+// rounding at every shared node. The boundary cases — r2 = 0, the
+// core/tail split, the cutoff node and beyond — are all node-exact.
+func TestFastAtNodesExact(t *testing.T) {
+	tbl := Vina(chem.TypeC, chem.TypeOA)
+	bank, offs := NewFastBank([]*Radial{tbl})
+	off := offs[0]
+	for i := 0; i < FastBinsCore; i++ {
+		r2 := float64(i) / FastInvCore
+		if got, want := FastAt(bank, off, r2), bank[off+int32(i)]; got != want {
+			t.Fatalf("core node %d: FastAt %v != node %v", i, got, want)
+		}
+	}
+	for j := 0; j <= FastBinsTail; j++ {
+		r2 := SplitR2 + float64(j)/FastInvTail
+		if got, want := FastAt(bank, off, r2), bank[off+FastBinsCore+int32(j)]; got != want {
+			t.Fatalf("tail node %d: FastAt %v != node %v", j, got, want)
+		}
+	}
+	last := bank[off+FastNNodes-1]
+	for _, r2 := range []float64{Cutoff * Cutoff, Cutoff*Cutoff + 3, 500} {
+		if got := FastAt(bank, off, r2); got != last {
+			t.Fatalf("beyond-cutoff r2=%v: FastAt %v != last node %v", r2, got, last)
+		}
+	}
+	// RMin² lands exactly on a core node (the AD4 clamp stays node-exact).
+	if x := RMin2 * FastInvCore; x != math.Trunc(x) {
+		t.Fatalf("RMin2·FastInvCore = %v, want integral", x)
+	}
+}
+
+// TestFastAtBound sweeps fast-vs-exact densely and randomly,
+// pinning the per-evaluation envelope the engine-level bounds build
+// on, in two regimes:
+//
+//   - r² ≥ 0.01 Å² (everything physically meaningful, and everything
+//     AD4's RMin²-clamped intra path can query): the fast table tracks
+//     the exact one to |Δ| ≤ 1e-3 + 5e-4·|exact|. The relative term
+//     covers the repulsive wall, where the potential spans orders of
+//     magnitude and the coarser interpolation tracks it
+//     proportionally; the absolute term covers the smooth well/tail.
+//
+//   - r² < 0.01 Å² (atoms overlapping to within 0.1 Å — reachable
+//     only in deeply clashed random poses): V is smooth in r but
+//     r = √r² has unbounded slope at zero, so interpolation in r²
+//     degrades near the origin no matter the bin count. The envelope
+//     widens to |Δ| ≤ 0.02 + 5e-3·|exact|. Engine-level tolerances
+//     (vina.FastAbsTol/FastRelTol) are sized to absorb this regime.
+func TestFastAtBound(t *testing.T) {
+	tbls := []*Radial{
+		Vina(chem.TypeC, chem.TypeC),
+		Vina(chem.TypeOA, chem.TypeN),
+		Vina(chem.TypeC, chem.TypeF),
+		Vina(chem.TypeI, chem.TypeI),
+		AD4Pair(chem.TypeC, chem.TypeC),
+		AD4Pair(chem.TypeOA, chem.TypeHD),
+		AD4Pair(chem.TypeN, chem.TypeSA),
+		AD4Pair(chem.TypeBr, chem.TypeI),
+	}
+	bank, offs := NewFastBank(tbls)
+	r := rand.New(rand.NewSource(91))
+	regimes := []struct {
+		name           string
+		lo, hi         float64
+		absTol, relTol float64
+	}{
+		{"physical", 0.01, Cutoff*Cutoff + 1, 1e-3, 5e-4},
+		{"deep-clash", 1e-6, 0.01, 2e-2, 5e-3},
+	}
+	for _, reg := range regimes {
+		maxExcess := 0.0
+		check := func(ti int, r2 float64) {
+			exact := tbls[ti].At2(r2)
+			fast := float64(FastAt(bank, offs[ti], r2))
+			if excess := math.Abs(fast-exact) - reg.relTol*math.Abs(exact); excess > maxExcess {
+				maxExcess = excess
+				if excess > reg.absTol {
+					t.Fatalf("%s: table %d r2=%v: |fast-exact| = |%v - %v| beyond %v + %v·|exact|",
+						reg.name, ti, r2, fast, exact, reg.absTol, reg.relTol)
+				}
+			}
+		}
+		for ti := range tbls {
+			for r2 := reg.lo; r2 < reg.hi; r2 *= 1.002 { // dense log sweep
+				check(ti, r2)
+			}
+			for k := 0; k < 20000; k++ {
+				check(ti, reg.lo+r.Float64()*(reg.hi-reg.lo))
+			}
+		}
+		t.Logf("%s: max |fast-exact| - rel·|exact| = %.3g (envelope %.3g)",
+			reg.name, maxExcess, reg.absTol)
+	}
+}

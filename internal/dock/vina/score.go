@@ -5,6 +5,7 @@ package vina
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/chem"
 	"repro/internal/dock"
@@ -46,6 +47,11 @@ type Scorer struct {
 	intraTbl   []intraPair        // heavy-atom 1-4+ pairs with their tables
 	rotFactor float64
 	intraRef  float64 // internal energy of the input conformation
+
+	// Tolerance-bounded fast path (score_fast.go), built lazily on the
+	// first ScoreBatchFast call so exact-only campaigns pay nothing.
+	fastOnce sync.Once
+	fast     *fastState
 }
 
 // intraPair is one precomputed intramolecular interaction: the atom

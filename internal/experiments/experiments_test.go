@@ -74,8 +74,12 @@ func TestKernelsQuick(t *testing.T) {
 		"ad4_score_analytic", "ad4_score_tables",
 		"vina_score_per_pose", "vina_score_batch1", "vina_score_batch8",
 		"vina_score_batch16", "vina_score_batch50", "vina_score_batch150",
+		"vina_score_fast_batch1", "vina_score_fast_batch8",
+		"vina_score_fast_batch16", "vina_score_fast_batch50", "vina_score_fast_batch150",
 		"ad4_score_per_pose", "ad4_score_batch1", "ad4_score_batch8",
 		"ad4_score_batch16", "ad4_score_batch50", "ad4_score_batch150",
+		"ad4_score_fast_batch1", "ad4_score_fast_batch8",
+		"ad4_score_fast_batch16", "ad4_score_fast_batch50", "ad4_score_fast_batch150",
 	}
 	if len(rep.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
@@ -98,6 +102,13 @@ func TestKernelsQuick(t *testing.T) {
 		case strings.Contains(b.Name, "_batch"):
 			if b.BatchSize <= 0 || b.NsPerPose <= 0 || b.SpeedupVsPerPose <= 0 {
 				t.Errorf("%s: incomplete batch cell %+v", b.Name, b)
+			}
+			fast := strings.Contains(b.Name, "_fast_")
+			if fast != (b.Precision == "tolerance") {
+				t.Errorf("%s: precision tag %q does not match name", b.Name, b.Precision)
+			}
+			if fast && b.MaxBoundExcess > 0 {
+				t.Errorf("%s: tolerance envelope violated by %g", b.Name, b.MaxBoundExcess)
 			}
 		case strings.Contains(b.Name, "per_pose"):
 			if b.NsPerPose <= 0 || b.BatchSize != 0 || b.SpeedupVsPerPose != 0 {

@@ -37,6 +37,27 @@ type KernelBench struct {
 	BatchSize        int     `json:"batch_size,omitempty"`
 	NsPerPose        float64 `json:"ns_per_pose,omitempty"`
 	SpeedupVsPerPose float64 `json:"speedup_vs_per_pose,omitempty"`
+	// Precision tags batch-sweep cells with the scoring path they
+	// time: "exact" (ScoreBatch, bit-identical to Score) or
+	// "tolerance" (ScoreBatchFast, bounded error).
+	Precision string `json:"precision,omitempty"`
+	// RelStdDev is the relative standard deviation of the per-round
+	// wall times of a sweep cell — the noise floor against which its
+	// speedup ratios should be read.
+	RelStdDev float64 `json:"rel_stddev,omitempty"`
+	// MaxAbsDeltaE is the largest |fast − exact| energy over the sweep
+	// population, measured outside the timed region; only set on
+	// tolerance cells. The population includes hard clashes whose
+	// exact energy sits on the r⁻¹² wall (~1e8), so this raw delta is
+	// dominated by the relative tolerance term there; read it against
+	// MaxBoundExcess, which is the number the screening algebra
+	// depends on.
+	MaxAbsDeltaE float64 `json:"max_abs_delta_e,omitempty"`
+	// MaxBoundExcess is the worst-case |fast − exact| − (FastAbsTol +
+	// FastRelTol·|exact|) over the population: ≤ 0 means every pose
+	// respected the engine's pinned tolerance envelope, and its
+	// magnitude is the narrowest margin observed.
+	MaxBoundExcess float64 `json:"max_bound_excess,omitempty"`
 }
 
 // KernelReport is the full kernel benchmark result set.
@@ -61,8 +82,8 @@ func (r *KernelReport) String() string {
 	if r.Note != "" {
 		fmt.Fprintf(&sb, "note: %s\n", r.Note)
 	}
-	fmt.Fprintf(&sb, "%-28s %14s %12s %10s %12s %10s\n",
-		"kernel", "ns/op", "allocs/op", "speedup", "ns/pose", "vs 1-pose")
+	fmt.Fprintf(&sb, "%-28s %14s %12s %10s %12s %10s %8s %10s %12s\n",
+		"kernel", "ns/op", "allocs/op", "speedup", "ns/pose", "vs 1-pose", "±rsd", "max|ΔE|", "bound slack")
 	for _, b := range r.Benchmarks {
 		sp := ""
 		if b.Speedup > 0 {
@@ -75,8 +96,17 @@ func (r *KernelReport) String() string {
 		if b.SpeedupVsPerPose > 0 {
 			vp = fmt.Sprintf("%.2fx", b.SpeedupVsPerPose)
 		}
-		fmt.Fprintf(&sb, "%-28s %14.0f %12.1f %10s %12s %10s\n",
-			b.Name, b.NsPerOp, b.AllocsPerOp, sp, np, vp)
+		rsd, de := "", ""
+		if b.RelStdDev > 0 {
+			rsd = fmt.Sprintf("%.1f%%", b.RelStdDev*100)
+		}
+		ex := ""
+		if b.Precision == "tolerance" {
+			de = fmt.Sprintf("%.2g", b.MaxAbsDeltaE)
+			ex = fmt.Sprintf("%.2g", -b.MaxBoundExcess)
+		}
+		fmt.Fprintf(&sb, "%-28s %14.0f %12.1f %10s %12s %10s %8s %10s %12s\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, sp, np, vp, rsd, de, ex)
 	}
 	return sb.String()
 }
@@ -121,6 +151,36 @@ func kernelPoseSet(lig *dock.Ligand, n int, seed int64) []dock.Pose {
 			Translation: chem.V(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5),
 			Orientation: chem.RandomQuat(r.Float64(), r.Float64(), r.Float64()),
 			Torsions:    tors,
+		}
+	}
+	return poses
+}
+
+// kernelScreenWindows builds the batch sweep's pose population shaped
+// like the windows the batched kernels actually score: the search
+// loops flush MaxBatch-sized runs of Solis-Wets candidates — small
+// perturbations of one incumbent (lga.go: rho·0.5 Å translation,
+// rho·0.15 rad angles, rho annealed from 1 toward 0.01) — so the
+// population is consecutive `window`-pose clusters, each a fresh
+// random incumbent followed by candidates at a decaying rho schedule.
+// The spatial correlation inside a window is part of the workload the
+// scorers' table and lattice caches see in production; a uniform-wild
+// population is the cold-start case, not the steady state.
+func kernelScreenWindows(lig *dock.Ligand, n, window int, seed int64) []dock.Pose {
+	r := rand.New(rand.NewSource(seed))
+	wild := kernelPoseSet(lig, (n+window-1)/window, seed+1)
+	poses := make([]dock.Pose, 0, n)
+	for _, inc := range wild {
+		if len(poses) >= n {
+			break
+		}
+		poses = append(poses, inc)
+		rho := 1.0
+		for k := 1; k < window && len(poses) < n; k++ {
+			cand := dock.Pose{Torsions: make([]float64, lig.NumTorsions())}
+			dock.PerturbInto(r, &cand, inc, rho*0.5, rho*0.15)
+			poses = append(poses, cand)
+			rho *= 0.85
 		}
 	}
 	return poses
@@ -265,35 +325,47 @@ func (s *Suite) Kernels() (*KernelReport, error) {
 	}
 
 	// Batched-scoring sweep: one fixed production-shaped population per
-	// engine, scored per pose (Workspace materialization included, as a
-	// search loop pays it) and in ScoreBatch chunks. The cells are
-	// interleaved round-robin so frequency drift hits every cell alike;
-	// ns_per_pose and the batch-vs-per-pose ratio are the signal, and
-	// both paths produce bit-identical energies (pinned by the engines'
-	// 0-ULP batch tests), so the ratio compares equal work.
+	// engine — Solis-Wets screen windows, see kernelScreenWindows —
+	// scored per pose (Workspace materialization included, as a
+	// search loop pays it), in exact ScoreBatch chunks, and in
+	// tolerance ScoreBatchFast chunks. The cells are interleaved
+	// round-robin so frequency drift hits every cell alike;
+	// ns_per_pose and the batch-vs-per-pose ratio are the signal. The
+	// exact cells produce bit-identical energies (pinned by the
+	// engines' 0-ULP batch tests); the tolerance cells report the max
+	// |fast − exact| over the population (measured outside the timed
+	// region) next to their timing, so the speed/accuracy trade is in
+	// one row. Each cell also carries the relative stddev of its
+	// per-round wall times — the noise floor for reading the ratios.
 	nPop, rounds := 600, 60
 	if s.Quick {
 		nPop, rounds = 120, 4
 	}
-	batchPoses := kernelPoseSet(lig, nPop, 7)
-	sweep := func(prefix string, score func([]chem.Vec3) float64, scoreBatch func(*dock.Batch, []float64)) {
+	batchPoses := kernelScreenWindows(lig, nPop, 50, 7)
+	batchSizes := []int{1, 8, 16, 50, 150}
+	sweep := func(prefix string, score func([]chem.Vec3) float64,
+		scoreBatch, scoreBatchFast func(*dock.Batch, []float64), margin func(float64) float64) {
 		ws := dock.NewWorkspace(lig)
 		type cell struct {
-			name string
-			bs   int
-			run  func()
+			name      string
+			bs        int
+			precision string
+			run       func()
 		}
 		sink := 0.0
-		cells := []cell{{prefix + "_score_per_pose", 0, func() {
+		cells := []cell{{prefix + "_score_per_pose", 0, "exact", func() {
 			for _, p := range batchPoses {
 				sink += score(ws.Coords(p))
 			}
 		}}}
-		for _, bs := range []int{1, 8, 16, 50, 150} {
-			bs := bs
+		batchCell := func(bs int, precision string, kernel func(*dock.Batch, []float64)) cell {
 			b := dock.NewBatch(lig, bs)
 			out := make([]float64, bs)
-			cells = append(cells, cell{fmt.Sprintf("%s_score_batch%d", prefix, bs), bs, func() {
+			name := fmt.Sprintf("%s_score_batch%d", prefix, bs)
+			if precision == "tolerance" {
+				name = fmt.Sprintf("%s_score_fast_batch%d", prefix, bs)
+			}
+			return cell{name, bs, precision, func() {
 				for base := 0; base < len(batchPoses); base += bs {
 					end := base + bs
 					if end > len(batchPoses) {
@@ -303,43 +375,96 @@ func (s *Suite) Kernels() (*KernelReport, error) {
 					for i := base; i < end; i++ {
 						b.Append(batchPoses[i])
 					}
-					scoreBatch(b, out[:end-base])
+					kernel(b, out[:end-base])
 					for k := 0; k < end-base; k++ {
 						sink += out[k]
 					}
 				}
-			}})
+			}}
+		}
+		for _, bs := range batchSizes {
+			cells = append(cells, batchCell(bs, "exact", scoreBatch))
+		}
+		for _, bs := range batchSizes {
+			cells = append(cells, batchCell(bs, "tolerance", scoreBatchFast))
 		}
 		for _, c := range cells {
-			c.run() // warm up: fault in tables and batch buffers
+			c.run() // warm up: fault in tables, batch buffers, lazy fast state
 		}
 		tot := make([]time.Duration, len(cells))
+		sum2 := make([]float64, len(cells)) // Σ(round ns)² for the stddev
+		minNs := make([]float64, len(cells))
 		for round := 0; round < rounds; round++ {
 			for ci, c := range cells {
 				t0 := time.Now()
 				c.run()
-				tot[ci] += time.Since(t0)
+				d := time.Since(t0)
+				tot[ci] += d
+				sum2[ci] += float64(d.Nanoseconds()) * float64(d.Nanoseconds())
+				if ns := float64(d.Nanoseconds()); minNs[ci] == 0 || ns < minNs[ci] {
+					minNs[ci] = ns
+				}
 			}
 		}
-		baseNs := float64(tot[0].Nanoseconds()) / float64(rounds*nPop)
+		// Accuracy metadata, outside the timed region: the fast path is
+		// batch-size-invariant (pinned by the engines' batch-invariance
+		// tests), so one full-population pass gives every tolerance
+		// cell's max |ΔE|.
+		maxDeltaE, maxExcess := 0.0, math.Inf(-1)
+		{
+			b := dock.NewBatch(lig, len(batchPoses))
+			b.Reset()
+			for _, p := range batchPoses {
+				b.Append(p)
+			}
+			fast := make([]float64, len(batchPoses))
+			scoreBatchFast(b, fast)
+			for i, p := range batchPoses {
+				exact := score(ws.Coords(p))
+				d := math.Abs(fast[i] - exact)
+				if d > maxDeltaE {
+					maxDeltaE = d
+				}
+				if ex := d - margin(exact); ex > maxExcess {
+					maxExcess = ex
+				}
+			}
+		}
+		// Each cell reports its FASTEST round, like measure() above:
+		// scheduler preemption and host frequency dips only ever slow a
+		// round down, so on a noisy shared core the minimum is the
+		// workload's time and the mean is the noise's. The mean still
+		// feeds the reported rel_stddev so the observed noise floor is
+		// in the report.
+		baseNs := minNs[0] / float64(nPop)
 		for ci, c := range cells {
-			ns := float64(tot[ci].Nanoseconds()) / float64(rounds*nPop)
+			ns := minNs[ci] / float64(nPop)
+			mean := float64(tot[ci].Nanoseconds()) / float64(rounds)
+			variance := sum2[ci]/float64(rounds) - mean*mean
 			kb := KernelBench{
 				Name:      c.name,
-				NsPerOp:   float64(tot[ci].Nanoseconds()) / float64(rounds),
+				NsPerOp:   minNs[ci],
 				NsPerPose: ns,
+				Precision: c.precision,
+			}
+			if variance > 0 {
+				kb.RelStdDev = math.Sqrt(variance) / mean
 			}
 			if c.bs > 0 {
 				kb.BatchSize = c.bs
 				kb.SpeedupVsPerPose = baseNs / ns
 			}
+			if c.precision == "tolerance" {
+				kb.MaxAbsDeltaE = maxDeltaE
+				kb.MaxBoundExcess = maxExcess
+			}
 			rep.Benchmarks = append(rep.Benchmarks, kb)
 		}
 		_ = sink
 	}
-	sweep("vina", vs.Score, vs.ScoreBatch)
-	sweep("ad4", as.Score, as.ScoreBatch)
-	rep.Note = "measured on a 1-CPU reference container; absolute ns and run-to-run ratios carry ±20% frequency noise — the interleaved batch-sweep cells share one fixed population, so only their within-report ratios are meaningful"
+	sweep("vina", vs.Score, vs.ScoreBatch, vs.ScoreBatchFast, vina.FastMargin)
+	sweep("ad4", as.Score, as.ScoreBatch, as.ScoreBatchFast, ad4.FastMargin)
+	rep.Note = "measured on a 1-CPU reference container; absolute ns and run-to-run ratios carry ±20% frequency noise — the interleaved batch-sweep cells share one fixed population, so only their within-report ratios are meaningful; each sweep cell reports its fastest round (noise only slows a round down) with rel_stddev as the observed per-round noise, and the tolerance (score_fast) cells report the max |fast−exact| energy over the population (raw delta, dominated by the relative tolerance term on r⁻¹² clash poses) and the narrowest margin to the pinned FastAbsTol/FastRelTol envelope (bound slack > 0 means no pose violated it)"
 	return rep, nil
 }
 

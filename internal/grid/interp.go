@@ -117,6 +117,85 @@ func (m *Maps) InterAccum(aff Field, xs, ys, zs []float64, stride int, wv, wq, w
 	interAccum(m, aff.f64, m.elec, m.desolv, xs, ys, zs, stride, wv, wq, wdq, acc)
 }
 
+// InterAccumFast is the tolerance-path InterAccum: the same stencil,
+// clamping and vdW/electrostatic/desolvation term order, but the grid
+// coordinate is scaled by the reciprocal spacing instead of divided,
+// and the lerp chains plus weighted accumulation run in float32 over
+// the native lattice values, into a float32 accumulator. It differs
+// from InterAccum by float32 rounding of the arithmetic only —
+// relative ~1e-7 of the term magnitudes, including the out-of-box
+// penalty — which callers carry inside their pinned tolerance
+// envelope (the fast scorers' FastAbsTol/FastRelTol bound).
+func (m *Maps) InterAccumFast(t chem.AtomType, xs, ys, zs []float64, stride int, wv, wq, wdq float64, acc []float32) {
+	interAccumFast(m, m.fastTriple(t), xs, ys, zs, stride, wv, wq, wdq, acc)
+}
+
+func interAccumFast(m *Maps, aed []float32, xs, ys, zs []float64, stride int, wv, wq, wdq float64, acc []float32) {
+	o := m.Spec.Origin()
+	inv := 1 / m.Spec.Spacing
+	nx, ny, nz := m.Spec.NPts[0], m.Spec.NPts[1], m.Spec.NPts[2]
+	mx, my, mz := float64(nx-1), float64(ny-1), float64(nz-1)
+	dy, dz := nx, nx*ny
+	wvf, wqf, wdqf := float32(wv), float32(wq), float32(wdq)
+	penalty := (wvf + wqf + wdqf) * float32(OutOfBoxPenalty)
+	for p := range acc {
+		a := p * stride
+		fx := (xs[a] - o.X) * inv
+		fy := (ys[a] - o.Y) * inv
+		fz := (zs[a] - o.Z) * inv
+		if fx < 0 || fy < 0 || fz < 0 || fx > mx || fy > my || fz > mz {
+			acc[p] += penalty
+			continue
+		}
+		ix := int(fx)
+		iy := int(fy)
+		iz := int(fz)
+		if ix >= nx-1 {
+			ix = nx - 2
+		}
+		if iy >= ny-1 {
+			iy = ny - 2
+		}
+		if iz >= nz-1 {
+			iz = nz - 2
+		}
+		tx := float32(fx - float64(ix))
+		ty := float32(fy - float64(iy))
+		tz := float32(fz - float64(iz))
+		i00 := (iz*ny+iy)*nx + ix
+		i10 := i00 + dy
+		i01 := i00 + dz
+		i11 := i01 + dy
+		ux, uy, uz := 1-tx, 1-ty, 1-tz
+		s := acc[p]
+		// Interleaved [affinity, elec, desolv]: each corner pair's six
+		// values arrive in one contiguous 24-byte read, so the three
+		// lerp chains share four such reads instead of touching twelve
+		// scattered corners. The chains and the term order match the
+		// separate-lattice form exactly.
+		q00 := aed[3*i00 : 3*i00+6]
+		q10 := aed[3*i10 : 3*i10+6]
+		q01 := aed[3*i01 : 3*i01+6]
+		q11 := aed[3*i11 : 3*i11+6]
+		a00 := q00[0]*ux + q00[3]*tx
+		a10 := q10[0]*ux + q10[3]*tx
+		a01 := q01[0]*ux + q01[3]*tx
+		a11 := q11[0]*ux + q11[3]*tx
+		s += wvf * ((a00*uy+a10*ty)*uz + (a01*uy+a11*ty)*tz)
+		e00 := q00[1]*ux + q00[4]*tx
+		e10 := q10[1]*ux + q10[4]*tx
+		e01 := q01[1]*ux + q01[4]*tx
+		e11 := q11[1]*ux + q11[4]*tx
+		s += wqf * ((e00*uy+e10*ty)*uz + (e01*uy+e11*ty)*tz)
+		d00 := q00[2]*ux + q00[5]*tx
+		d10 := q10[2]*ux + q10[5]*tx
+		d01 := q01[2]*ux + q01[5]*tx
+		d11 := q11[2]*ux + q11[5]*tx
+		s += wdqf * ((d00*uy+d10*ty)*uz + (d01*uy+d11*ty)*tz)
+		acc[p] = s
+	}
+}
+
 func interAccum[T float32 | float64](m *Maps, affSl, elecSl, desolvSl []T, xs, ys, zs []float64, stride int, wv, wq, wdq float64, acc []float64) {
 	o := m.Spec.Origin()
 	sp := m.Spec.Spacing

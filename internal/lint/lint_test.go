@@ -157,6 +157,60 @@ func tieBreak(a, b float64) bool {
 	}
 }
 
+func TestExactFlow(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"flags_narrowing_and_arithmetic", `package p
+
+//exact: bit-identical to the reference path
+func scoreExact(xs []float64, acc []float32) float64 {
+	v := float32(xs[0]) // want "float32 conversion inside //exact: function"
+	w := acc[0] * acc[1] // want "float32 \* arithmetic inside //exact: function"
+	acc[0] += w // want "float32 \+= inside //exact: function"
+	return float64(v)
+}
+`},
+		{"widening_and_plain_float64_exempt", `package p
+
+//exact: bit-identical to the reference path
+func scoreExact(xs []float32) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += float64(x) // widening: exempt
+	}
+	return s * 0.5
+}
+
+func scoreFast(xs []float64) float32 { // no directive: exempt
+	return float32(xs[0]) * 0.5
+}
+`},
+		{"float32_to_float32_exempt", `package p
+
+type affinity float32
+
+//exact: node passthrough
+func reslot(v float32) affinity {
+	return affinity(v) // float32-based to float32-based: no narrowing
+}
+`},
+		{"suppression", `package p
+
+//exact: bit-identical modulo the documented seed fold
+func fold(v float64) float32 {
+	//lint:ignore exactflow the fold is part of the pinned contract
+	return float32(v)
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runCase(t, ExactFlow, "fixture/exactflow", "", "fixture.go", tc.src)
+		})
+	}
+}
+
 func TestDiscardErr(t *testing.T) {
 	cases := []struct {
 		name, file, src string
@@ -729,7 +783,7 @@ func TestIgnoreDirectiveParsing(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ctxleak", "detflow", "dimcheck", "discarderr", "floatcmp", "lockflow", "mutexheld", "provpair", "wildrand"}
+	want := []string{"ctxleak", "detflow", "dimcheck", "discarderr", "exactflow", "floatcmp", "lockflow", "mutexheld", "provpair", "wildrand"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))
@@ -793,7 +847,7 @@ func TestFixturePackages(t *testing.T) {
 	if len(perPkg["noise"]) != 0 {
 		t.Errorf("noise fixture produced findings: %v", perPkg["noise"])
 	}
-	for _, an := range []string{"floatcmp", "discarderr", "mutexheld", "provpair", "ctxleak", "lockflow", "dimcheck"} {
+	for _, an := range []string{"floatcmp", "exactflow", "discarderr", "mutexheld", "provpair", "ctxleak", "lockflow", "dimcheck"} {
 		if perPkg["sick"][an] == 0 {
 			t.Errorf("sick fixture produced no %s finding; got %v", an, perPkg["sick"])
 		}

@@ -9,6 +9,7 @@ func Analyzers() []*Analyzer {
 		DetFlow,
 		DimCheck,
 		DiscardErr,
+		ExactFlow,
 		FloatCmp,
 		LockFlow,
 		MutexHeld,

@@ -151,3 +151,25 @@ func SortedKeys(m map[string]int) []string {
 	sort.Strings(out)
 	return out
 }
+
+// ScoreWindowExact keeps the bit-identity promise: float64 arithmetic
+// end to end, with float32 storage only widened before use.
+//
+//exact: bit-identical to the per-pose path
+func ScoreWindowExact(out []float64, lattice []float32) {
+	acc := 0.0
+	for _, v := range lattice {
+		acc += float64(v)
+	}
+	out[0] = acc
+}
+
+// ScoreWindowFast carries no exactness directive, so its float32
+// kernel is the tolerance fast path exactflow leaves alone.
+func ScoreWindowFast(out []float32, terms []float64) {
+	var acc float32
+	for _, t := range terms {
+		acc += float32(t)
+	}
+	out[0] = acc
+}

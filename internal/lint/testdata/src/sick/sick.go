@@ -151,3 +151,16 @@ func BatchIntraAccum(xs, ys, zs []float64, stride, i, j int, out []float64) {
 		out[p] += tableAt2(r)
 	}
 }
+
+// ScoreWindowExact promises bit-identity to a per-pose reference but
+// accumulates in float32 — exactly the precision drift the directive
+// forbids (exactflow, error).
+//
+//exact: bit-identical to the per-pose path
+func ScoreWindowExact(out []float64, terms []float64) {
+	var acc float32
+	for _, t := range terms {
+		acc += float32(t)
+	}
+	out[0] = float64(acc)
+}

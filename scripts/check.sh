@@ -25,6 +25,13 @@ go run ./cmd/scilint ./cmd/... ./internal/lint/...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Focused re-run of the precision contracts outside the cached suite:
+# the 0-ULP batched-kinematics pin, the fast-path tolerance envelopes,
+# and the screen-then-confirm docking golden.
+echo "==> precision contract smoke (FastPath/TorsionsBatch/PrecisionTolerance)"
+go test -run 'FastPath|TorsionsBatch|PrecisionTolerance' -count=1 \
+	./internal/chem ./internal/dock/vina ./internal/dock/ad4
+
 echo "==> kernel benchmark smoke (-benchtime=1x)"
 go test -run '^$' -bench . -benchtime=1x \
 	./internal/grid ./internal/dock \
@@ -33,7 +40,7 @@ go test -run '^$' -bench . -benchtime=1x \
 echo "==> search benchmark smoke (dockbench -exp search -quick)"
 go run ./cmd/dockbench -exp search -quick -benchout ''
 
-echo "==> batched-scoring benchmark smoke (dockbench -exp kernels -quick)"
+echo "==> batched-scoring benchmark smoke, exact + tolerance cells (dockbench -exp kernels -quick)"
 go run ./cmd/dockbench -exp kernels -quick -benchout ''
 
 echo "==> pipeline runtime benchmark smoke (-benchtime=1x)"
