@@ -17,6 +17,9 @@
 //	dockbench -exp prov         # provenance-store ingest/close/query
 //	                            # benchmarks, also written to
 //	                            # -benchout as JSON
+//	dockbench -exp campaigns    # 1 vs 4 concurrent campaigns through
+//	                            # the resident Manager (wall-clock +
+//	                            # fairness), also -benchout as JSON
 package main
 
 import (
@@ -36,10 +39,10 @@ type jsonReport interface {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search, pipeline, prov or all")
+		exp      = flag.String("exp", "all", "experiment id: t1, t2, t3, f5..f11, kernels, search, pipeline, prov, campaigns or all")
 		quick    = flag.Bool("quick", false, "reduced workloads (for smoke runs)")
 		benchout = flag.String("benchout", "auto",
-			"JSON output path for -exp kernels/search/pipeline/prov; \"auto\" picks BENCH_<exp>.json, empty skips")
+			"JSON output path for -exp kernels/search/pipeline/prov/campaigns; \"auto\" picks BENCH_<exp>.json, empty skips")
 	)
 	flag.Parse()
 	s := &experiments.Suite{Quick: *quick}
@@ -55,6 +58,8 @@ func main() {
 		rep, err = s.Pipeline()
 	case "prov":
 		rep, err = s.Prov()
+	case "campaigns":
+		rep, err = s.Campaigns()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dockbench:", err)

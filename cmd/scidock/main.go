@@ -1,23 +1,33 @@
 // Command scidock runs the SciDock molecular-docking virtual
 // screening workflow end-to-end on the simulated HPC cloud and
 // reports the execution summary, Table-3-style docking statistics and
-// optional provenance queries.
+// optional provenance queries. With -serve it instead becomes a
+// resident campaign service: an HTTP/JSON API for submitting,
+// monitoring, querying and cancelling many concurrent campaigns.
 //
 // Examples:
 //
 //	scidock -mode ad4 -receptors 20 -ligands 4 -cores 32
 //	scidock -mode adaptive -receptors 50 -ligands 8 -cores 64 -effort campaign
 //	scidock -mode vina -receptors 10 -ligands 2 -query "SELECT count(*) FROM ddocking"
+//	scidock -serve 127.0.0.1:8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/dock"
 	"repro/internal/engine"
 	"repro/internal/stats"
 )
@@ -35,24 +45,77 @@ func main() {
 		monitor   = flag.Bool("monitor", false, "print runtime-steering snapshots after each stage")
 		query     = flag.String("query", "", "SQL to run against the provenance database afterwards")
 		precision = flag.String("precision", "exact", "candidate scoring: exact, or tolerance (fast screens with exact confirmation; identical output, fewer cycles)")
+		serve     = flag.String("serve", "", "serve the campaign HTTP API on this address (e.g. 127.0.0.1:8080) instead of running one campaign")
 	)
 	flag.Parse()
 
-	if err := run(*mode, *receptors, *ligands, *cores, *effort, *seed, *hgGuard, *failures, *monitor, *query, *precision); err != nil {
+	var err error
+	if *serve != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = runServe(ctx, *serve)
+		stop()
+	} else {
+		err = run(*mode, *receptors, *ligands, *cores, *effort, *seed, *hgGuard, *failures, *monitor, *query, *precision)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "scidock:", err)
 		os.Exit(1)
 	}
 }
 
+// validateChoice rejects a flag value outside its enumeration with a
+// usage message listing the valid values.
+func validateChoice(flagName, v string, valid ...string) error {
+	for _, ok := range valid {
+		if v == ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("invalid -%s %q: valid values are %s", flagName, v, strings.Join(valid, ", "))
+}
+
+// validateFlags checks every enumerated or bounded flag up front —
+// before any dataset or engine work — so a typo fails in microseconds
+// with a usage message instead of deep inside the run.
+func validateFlags(mode string, receptors, ligands, cores int, effort, precision string) error {
+	if err := validateChoice("mode", mode, "ad4", "vina", "adaptive"); err != nil {
+		return err
+	}
+	if err := validateChoice("effort", effort, "smoke", "campaign", "quick"); err != nil {
+		return err
+	}
+	if err := validateChoice("precision", precision, "exact", "tolerance"); err != nil {
+		return err
+	}
+	if cores < 1 {
+		return fmt.Errorf("invalid -cores %d: must be a positive core count", cores)
+	}
+	if receptors < 1 {
+		return fmt.Errorf("invalid -receptors %d: must be positive", receptors)
+	}
+	if ligands < 1 {
+		return fmt.Errorf("invalid -ligands %d: must be positive", ligands)
+	}
+	return nil
+}
+
 func run(mode string, receptors, ligands, cores int, effort string, seed int64, hgGuard, failures, monitor bool, query, precision string) error {
-	ds, err := data.Small(receptors, ligands)
+	if err := validateFlags(mode, receptors, ligands, cores, effort, precision); err != nil {
+		return err
+	}
+	spec := campaign.Spec{
+		Mode: mode, Receptors: receptors, Ligands: ligands, Cores: cores,
+		Effort: effort, Seed: seed, Precision: precision,
+		DisableHgGuard: !hgGuard, DisableFailures: !failures,
+	}
+	cfg, err := spec.Config()
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{
-		Dataset: ds, Cores: cores, Seed: seed,
-		HgGuard: hgGuard, DisableFailures: !failures,
-	}
+	// A -seed 0 must stay 0; the spec's JSON zero-value default (2014)
+	// is for the service API.
+	cfg.Seed = seed
+	ds := cfg.Dataset
 	if monitor {
 		// Runtime steering (§IV.B): after each stage, query the live
 		// provenance database for failures so the scientist can react
@@ -69,40 +132,44 @@ func run(mode string, receptors, ligands, cores int, effort string, seed int64, 
 				ev.Stats.Failures, problems)
 		}
 	}
-	switch mode {
-	case "ad4":
-		cfg.Mode = core.ModeAD4
-	case "vina":
-		cfg.Mode = core.ModeVina
-	case "adaptive":
-		cfg.Mode = core.ModeAdaptive
-	default:
-		return fmt.Errorf("unknown mode %q", mode)
-	}
-	switch effort {
-	case "smoke":
-		cfg.Effort = core.SmokeEffort()
-	case "campaign":
-		cfg.Effort = core.CampaignEffort()
-	case "quick":
-		cfg.Effort = core.QuickEffort()
-	default:
-		return fmt.Errorf("unknown effort %q", effort)
-	}
-	switch precision {
-	case "exact":
-		cfg.ScorePrecision = dock.PrecisionExact
-	case "tolerance":
-		cfg.ScorePrecision = dock.PrecisionTolerance
-	default:
-		return fmt.Errorf("unknown precision %q", precision)
-	}
 
 	fmt.Printf("SciDock %s: %d receptors × %d ligands = %d pairs on %d cores\n",
 		cfg.Mode, receptors, ligands, ds.NumPairs(), cores)
-	camp, err := core.Run(cfg)
+
+	// The one-shot CLI is a thin client of the same campaign manager
+	// the -serve API uses: submit one campaign, wait for it.
+	m := campaign.NewManager(nil, campaign.Limits{})
+	id, err := m.SubmitConfig(spec, cfg)
 	if err != nil {
 		return err
+	}
+
+	// SIGINT/SIGTERM cancel the campaign instead of killing the
+	// process mid-write: the engine closes pending activations as
+	// ABORTED and the partial report still prints below.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "scidock: signal received, cancelling campaign — partial report follows")
+			if _, cerr := m.Cancel(id); cerr != nil {
+				fmt.Fprintln(os.Stderr, "scidock: cancel:", cerr)
+			}
+		case <-watchDone:
+		}
+	}()
+
+	camp, err := m.Wait(context.Background(), id)
+	cancelled := err != nil && errors.Is(err, engine.ErrCancelled)
+	if err != nil && !cancelled {
+		return err
+	}
+	if cancelled {
+		fmt.Println("\ncampaign cancelled; partial results:")
 	}
 
 	for _, rep := range camp.Reports {
@@ -140,5 +207,46 @@ func run(mode string, receptors, ligands, cores int, effort string, seed int64, 
 		}
 		fmt.Println("\n" + res.Format())
 	}
+	return nil
+}
+
+// serveListening, when non-nil (tests), receives the bound address
+// once the listener is up.
+var serveListening func(string)
+
+// runServe runs the resident campaign service until ctx is cancelled
+// (SIGINT/SIGTERM in main), then drains: admissions stop, queued
+// campaigns are cancelled, running ones get a grace period to finish
+// before being cancelled, and the HTTP server shuts down cleanly.
+func runServe(ctx context.Context, addr string) error {
+	m := campaign.NewManager(nil, campaign.Limits{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scidock: serving campaign API on %s\n", ln.Addr())
+	if serveListening != nil {
+		serveListening(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: campaign.NewHandler(m)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("scidock: draining campaigns before shutdown")
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 30*time.Second)
+	m.Shutdown(drainCtx)
+	cancelDrain()
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	fmt.Println("scidock: shutdown complete")
 	return nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/data"
 	"repro/internal/dock"
 	"repro/internal/engine"
+	"repro/internal/parallel"
 	"repro/internal/prep"
 	"repro/internal/sched"
 	"repro/internal/workflow"
@@ -77,6 +79,11 @@ type Config struct {
 	// reproduction (the paper re-ran them after parameter fixes).
 	LigandBlacklist map[string]bool
 
+	// Tokens, when set, charges the campaign's worker fan-outs to a
+	// per-campaign account on the shared CPU budget, so concurrent
+	// campaigns in one process degrade fairly. Nil = the global pool.
+	Tokens *parallel.Account
+
 	// Engine knobs (optional).
 	Scheduler       sched.Scheduler
 	CostModel       *sched.CostModel
@@ -118,6 +125,10 @@ type Campaign struct {
 	Engine  *engine.Engine
 	Reports []*engine.Report
 	Config  Config
+
+	// Execution plan, fixed at admission by NewCampaign.
+	programs []prep.Program
+	input    *workflow.Relation
 }
 
 // TET returns the campaign's total execution time in virtual seconds
@@ -144,10 +155,12 @@ func HgGuardRule(tag string, t workflow.Tuple) (string, bool) {
 	return "", false
 }
 
-// Run executes a SciDock campaign: one workflow for forced modes, two
-// (AD4 then Vina) for adaptive mode, sharing one engine so provenance
-// accumulates in a single database, as in the paper's deployment.
-func Run(cfg Config) (*Campaign, error) {
+// NewCampaign validates the config and builds the campaign's engine —
+// provenance database, shared FS and virtual cluster — without running
+// anything. The split lets a campaign service admit a campaign (and
+// serve provenance queries against its live database) before and while
+// Execute drives it.
+func NewCampaign(cfg Config) (*Campaign, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -157,6 +170,7 @@ func Run(cfg Config) (*Campaign, error) {
 		CostModel:           cfg.CostModel,
 		Adaptive:            cfg.Adaptive,
 		Parallelism:         cfg.Parallelism,
+		Tokens:              cfg.Tokens,
 		DisableFailures:     cfg.DisableFailures,
 		Runtime:             cfg.Runtime,
 		OnStageComplete:     cfg.OnStageComplete,
@@ -165,12 +179,6 @@ func Run(cfg Config) (*Campaign, error) {
 	if cfg.HgGuard {
 		opts.AbortRules = append(opts.AbortRules, HgGuardRule)
 	}
-	eng, err := engine.New(opts)
-	if err != nil {
-		return nil, err
-	}
-	camp := &Campaign{Engine: eng, Config: cfg}
-
 	var programs []prep.Program
 	switch cfg.Mode {
 	case ModeAD4:
@@ -182,17 +190,57 @@ func Run(cfg Config) (*Campaign, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
-	input := InputRelation(cfg.Dataset, cfg.ExpDir)
-	for _, p := range programs {
-		w, err := BuildWorkflow(cfg, p)
+	eng, err := engine.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{
+		Engine:   eng,
+		Config:   cfg,
+		programs: programs,
+		input:    InputRelation(cfg.Dataset, cfg.ExpDir),
+	}, nil
+}
+
+// Execute runs the campaign's workflows back to back on its engine.
+// When ctx is cancelled mid-flight the engine closes pending
+// activations as ABORTED, the partial report is still appended, and
+// Execute returns an error wrapping engine.ErrCancelled; workflows not
+// yet started are simply never run.
+func (c *Campaign) Execute(ctx context.Context) error {
+	for _, p := range c.programs {
+		w, err := BuildWorkflow(c.Config, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep, err := eng.Run(w, input)
+		rep, err := c.Engine.RunContext(ctx, w, c.input)
+		if rep != nil {
+			c.Reports = append(c.Reports, rep)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: %s workflow: %w", p, err)
+			return fmt.Errorf("core: %s workflow: %w", p, err)
 		}
-		camp.Reports = append(camp.Reports, rep)
+	}
+	return nil
+}
+
+// Run executes a SciDock campaign: one workflow for forced modes, two
+// (AD4 then Vina) for adaptive mode, sharing one engine so provenance
+// accumulates in a single database, as in the paper's deployment.
+func Run(cfg Config) (*Campaign, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation threaded through the engine; on
+// cancellation the partially executed campaign is returned alongside
+// an error wrapping engine.ErrCancelled.
+func RunContext(ctx context.Context, cfg Config) (*Campaign, error) {
+	camp, err := NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := camp.Execute(ctx); err != nil {
+		return camp, err
 	}
 	return camp, nil
 }

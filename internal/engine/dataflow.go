@@ -2,12 +2,12 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/cloud"
-	"repro/internal/parallel"
 	"repro/internal/prov"
 	"repro/internal/sched"
 	"repro/internal/workflow"
@@ -117,17 +117,19 @@ func (h *dfHeap) Pop() any {
 // model, independent of goroutine interleaving.
 type dataflow struct {
 	e     *Engine
+	ctx   context.Context
 	wkfid int64
 	order []*workflow.Activity
 	ids   []int64 // hactivity ids, by topo index
 	deps  [][]int // downstream activity indexes, by topo index
 	fleet []*cloud.VM
 
-	mu       sync.Mutex
-	workCond *sync.Cond // wakes pool workers: queue grew or shutdown
-	doneCond *sync.Cond // wakes the dispatcher: some body finished
-	queue    []*dfNode
-	shutdown bool
+	mu        sync.Mutex
+	workCond  *sync.Cond // wakes pool workers: queue grew, cancel or shutdown
+	doneCond  *sync.Cond // wakes the dispatcher: some body finished, or cancel
+	queue     []*dfNode
+	shutdown  bool
+	cancelled bool // ctx cancelled: workers stop, dispatcher drains
 
 	// Dispatcher-only state (no lock: single goroutine).
 	ready      dfHeap
@@ -147,7 +149,7 @@ type dataflow struct {
 // runDataflow executes the workflow on the pipelined runtime. clock
 // holds the workflow's virtual start (post-boot) on entry and the
 // virtual completion frontier on return.
-func (e *Engine) runDataflow(order []*workflow.Activity, actIDs map[string]int64, wkfid int64,
+func (e *Engine) runDataflow(ctx context.Context, order []*workflow.Activity, actIDs map[string]int64, wkfid int64,
 	input *workflow.Relation, fleet []*cloud.VM, report *Report, clock *float64) error {
 
 	idx := make(map[string]int, len(order))
@@ -156,6 +158,7 @@ func (e *Engine) runDataflow(order []*workflow.Activity, actIDs map[string]int64
 	}
 	d := &dataflow{
 		e:          e,
+		ctx:        ctx,
 		wkfid:      wkfid,
 		order:      order,
 		ids:        make([]int64, len(order)),
@@ -206,7 +209,7 @@ func (e *Engine) runDataflow(order []*workflow.Activity, actIDs map[string]int64
 		}
 	}
 
-	workers, releaseTokens := parallel.Tokens().Grab(e.opts.Parallelism)
+	workers, releaseTokens := e.grab(e.opts.Parallelism)
 	defer releaseTokens()
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -218,17 +221,37 @@ func (e *Engine) runDataflow(order []*workflow.Activity, actIDs map[string]int64
 	}
 	d.workCond.Broadcast()
 
+	// Cancellation watch: flips the cancelled flag and wakes both the
+	// dispatcher (to drain the ready queue as ABORTED) and the workers
+	// (to stop picking up bodies). The stop channel retires the watch
+	// when the run ends on its own.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.mu.Lock()
+			d.cancelled = true
+			d.doneCond.Broadcast()
+			d.workCond.Broadcast()
+			d.mu.Unlock()
+		case <-stop:
+		}
+	}()
+
 	err := d.dispatch()
+	close(stop)
 
 	d.mu.Lock()
 	d.shutdown = true
 	d.workCond.Broadcast()
 	d.mu.Unlock()
 	wg.Wait()
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrCancelled) {
 		return err
 	}
 
+	// A cancelled run still reports the work it did (placed
+	// activations plus the drained ABORTED tail).
 	for i := range order {
 		report.PerActivity = append(report.PerActivity, d.stats[i])
 		report.Activations += d.stats[i].Activations
@@ -239,7 +262,7 @@ func (e *Engine) runDataflow(order []*workflow.Activity, actIDs map[string]int64
 		report.Outputs = d.outTuples[len(order)-1]
 	}
 	*clock = d.frontier
-	return nil
+	return err
 }
 
 // dispatch drains the ready queue: pop the deterministic minimum,
@@ -249,10 +272,21 @@ func (d *dataflow) dispatch() error {
 	for d.ready.Len() > 0 {
 		n := heap.Pop(&d.ready).(*dfNode)
 		d.mu.Lock()
-		for !n.done {
+		if d.ctx.Err() != nil {
+			// Synchronous check so a context cancelled before (or
+			// between) placements drains deterministically, without
+			// racing the watch goroutine.
+			d.cancelled = true
+			d.workCond.Broadcast()
+		}
+		for !n.done && !d.cancelled {
 			d.doneCond.Wait()
 		}
+		cancelled := d.cancelled
 		d.mu.Unlock()
+		if cancelled {
+			return d.drainCancelled(n)
+		}
 		if err := d.place(n); err != nil {
 			return err
 		}
@@ -261,6 +295,38 @@ func (d *dataflow) dispatch() error {
 		}
 	}
 	return nil
+}
+
+// drainCancelled empties the ready queue after cancellation: every
+// remaining node — whether its wall-clock body ran or not — closes in
+// provenance as a zero-cost ABORTED activation at its virtual ready
+// time. Only fields immutable since registration are read, so the
+// drain never races a pool worker still finishing a body.
+func (d *dataflow) drainCancelled(n *dfNode) error {
+	e := d.e
+	for {
+		st := &d.stats[n.actIdx]
+		st.Activations++
+		st.Aborted++
+		d.placed[n.actIdx]++
+		e.mu.Lock()
+		e.nextTask++
+		taskid := e.nextTask
+		e.mu.Unlock()
+		cmd, cmdErr := workflow.Instantiate(n.act.Template, n.tuple)
+		if cmdErr != nil {
+			cmd = n.act.Template
+		}
+		start := e.vt(n.readyAt)
+		if err := e.app.InsertActivation(taskid, d.ids[n.actIdx], d.wkfid, prov.StatusAborted,
+			start, start, "-", 0, cmd+" # aborted: "+cancelReason); err != nil {
+			return err
+		}
+		if d.ready.Len() == 0 {
+			return ErrCancelled
+		}
+		n = heap.Pop(&d.ready).(*dfNode)
+	}
 }
 
 // register adds a node to the ready queue, fixing its priority weight
@@ -283,10 +349,10 @@ func (d *dataflow) register(n *dfNode) {
 func (d *dataflow) worker() {
 	for {
 		d.mu.Lock()
-		for !d.shutdown && len(d.queue) == 0 {
+		for !d.shutdown && !d.cancelled && len(d.queue) == 0 {
 			d.workCond.Wait()
 		}
-		if d.shutdown {
+		if d.shutdown || d.cancelled {
 			d.mu.Unlock()
 			return
 		}
@@ -325,7 +391,7 @@ func (d *dataflow) runNode(n *dfNode) {
 // placement time, preserving the per-group barrier — and the
 // dispatcher is woken.
 func (d *dataflow) finish(n *dfNode) {
-	if n.aborted == "" && n.err == nil && n.result != nil {
+	if !d.cancelled && n.aborted == "" && n.err == nil && n.result != nil {
 		n.fanErr = n.act.CheckFanOut(n.result)
 		if n.fanErr == nil {
 			for _, di := range d.deps[n.actIdx] {

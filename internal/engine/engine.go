@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,6 +35,16 @@ import (
 // §V.C: the program neither finishes nor errors. The engine charges
 // the loop-timeout and aborts the activation.
 var ErrLoop = errors.New("engine: activation entered looping state")
+
+// ErrCancelled marks a run aborted by its context: the campaign was
+// cancelled while activations were still in flight. RunContext closes
+// every not-yet-placed activation as ABORTED in provenance and returns
+// the partial report alongside this error.
+var ErrCancelled = errors.New("engine: campaign cancelled")
+
+// cancelReason is the abort reason recorded on activations that were
+// still pending when the run's context was cancelled.
+const cancelReason = "campaign cancelled"
 
 // AbortRule is a steering predicate evaluated before dispatch; a
 // non-empty reason aborts the activation without running it (the
@@ -65,6 +76,12 @@ type Options struct {
 	// (internal/parallel), so engine stages, grid generation and the
 	// docking search pools cannot jointly oversubscribe the machine.
 	Parallelism int
+	// Tokens, when set, routes the engine's worker fan-outs through a
+	// per-campaign account on the shared CPU budget instead of the raw
+	// process-global pool, so N concurrent campaigns degrade fairly
+	// (each capped at its fair share of tokens). Nil = the global pool
+	// directly; single-campaign behavior is identical either way.
+	Tokens *parallel.Account
 	// BaseTime anchors virtual timestamps; zero = 2014-03-01 UTC (the
 	// paper's experiment window).
 	BaseTime time.Time
@@ -225,10 +242,30 @@ type activationOutcome struct {
 	aborted string // non-empty: abort reason
 }
 
+// grab sizes a worker fan-out against the campaign's token account
+// when one is configured, the process-global pool otherwise.
+func (e *Engine) grab(want int) (workers int, release func()) {
+	if e.opts.Tokens != nil {
+		return e.opts.Tokens.Grab(want)
+	}
+	return parallel.Tokens().Grab(want)
+}
+
 // Run executes the workflow over the input relation and returns the
 // execution report. Provenance, files and the virtual bill accumulate
-// on the engine.
+// on the engine. Run is RunContext with a background context.
 func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, error) {
+	return e.RunContext(context.Background(), w, input)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled
+// mid-flight, every activation not yet placed on the virtual timeline
+// closes in provenance as ABORTED ("# aborted: campaign cancelled"),
+// worker pools drain, tokens are released, and the call returns the
+// partial report together with an error wrapping ErrCancelled.
+// Activations already placed keep their rows, so the provenance store
+// faithfully records how far the campaign got.
+func (e *Engine) RunContext(ctx context.Context, w *workflow.Workflow, input *workflow.Relation) (*Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -288,16 +325,16 @@ func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, e
 	}
 
 	if e.opts.Runtime == RuntimeBarrier {
-		err = e.runBarrier(order, actIDs, wkfid, input, fleet, report, &clock)
+		err = e.runBarrier(ctx, order, actIDs, wkfid, input, fleet, report, &clock)
 	} else {
-		err = e.runDataflow(order, actIDs, wkfid, input, fleet, report, &clock)
+		err = e.runDataflow(ctx, order, actIDs, wkfid, input, fleet, report, &clock)
 	}
 	// Publish any still-buffered provenance; even a failed run keeps
 	// whatever rows it accumulated, as direct writes would have.
 	if ferr := e.app.Flush(); ferr != nil && err == nil {
 		err = ferr
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrCancelled) {
 		return nil, err
 	}
 
@@ -305,14 +342,14 @@ func (e *Engine) Run(w *workflow.Workflow, input *workflow.Relation) (*Report, e
 	// Advance the simulator so billing sees the full execution span.
 	e.advanceSim(clock)
 	report.CostUSD = e.Cluster.Cost()
-	return report, nil
+	return report, err
 }
 
 // runBarrier is the legacy stage-synchronized executor (kept for
 // ablation against the dataflow runtime): activities run in
 // topological order, and every tuple of a stage must finish before
 // any tuple of the next may start.
-func (e *Engine) runBarrier(order []*workflow.Activity, actIDs map[string]int64, wkfid int64,
+func (e *Engine) runBarrier(ctx context.Context, order []*workflow.Activity, actIDs map[string]int64, wkfid int64,
 	input *workflow.Relation, fleet []*cloud.VM, report *Report, clock *float64) error {
 
 	outputs := map[string][]workflow.Tuple{}
@@ -331,6 +368,21 @@ func (e *Engine) runBarrier(order []*workflow.Activity, actIDs map[string]int64,
 			continue
 		}
 
+		// Cancellation is a stage boundary under the barrier runtime:
+		// the stage whose turn it was closes all of its pending
+		// activations as ABORTED and the run stops (mirroring the
+		// dataflow runtime's drain of its ready queue).
+		if ctx.Err() != nil {
+			stats, err := e.abortStage(act, actIDs[act.Tag], wkfid, inputs, *clock)
+			if err != nil {
+				return err
+			}
+			report.PerActivity = append(report.PerActivity, *stats)
+			report.Activations += stats.Activations
+			report.Aborted += stats.Aborted
+			return ErrCancelled
+		}
+
 		// Adaptive elasticity: size the fleet for this stage's load.
 		// The simulator clock advances to the current virtual time
 		// first, so newly acquired VMs are billed from now and pay
@@ -346,7 +398,7 @@ func (e *Engine) runBarrier(order []*workflow.Activity, actIDs map[string]int64,
 			}
 		}
 
-		stats, outs, err := e.runStage(act, actIDs[act.Tag], wkfid, inputs, fleet, clock)
+		stats, outs, err := e.runStage(ctx, act, actIDs[act.Tag], wkfid, inputs, fleet, clock)
 		if err != nil {
 			return err
 		}
@@ -388,16 +440,54 @@ func (e *Engine) estimateStageWork(tag string, tuples []workflow.Tuple) float64 
 	return mean * float64(len(tuples))
 }
 
+// abortStage closes every pending activation of a stage as ABORTED at
+// the current virtual clock — the barrier runtime's cancellation path.
+func (e *Engine) abortStage(act *workflow.Activity, actid, wkfid int64,
+	inputs []workflow.Tuple, clock float64) (*ActivityStats, error) {
+
+	stats := &ActivityStats{Tag: act.Tag}
+	start := e.vt(clock)
+	pending := inputs
+	if act.Op == workflow.Reduce {
+		// One activation per group, as the algebra defines.
+		pending = nil
+		seen := map[string]bool{}
+		for _, in := range inputs {
+			if k := in[act.GroupKey]; !seen[k] {
+				seen[k] = true
+				pending = append(pending, workflow.Tuple{act.GroupKey: k})
+			}
+		}
+	}
+	for _, tuple := range pending {
+		e.mu.Lock()
+		e.nextTask++
+		taskid := e.nextTask
+		e.mu.Unlock()
+		stats.Activations++
+		stats.Aborted++
+		cmd, cmdErr := workflow.Instantiate(act.Template, tuple)
+		if cmdErr != nil {
+			cmd = act.Template
+		}
+		if err := e.app.InsertActivation(taskid, actid, wkfid, prov.StatusAborted,
+			start, start, "-", 0, cmd+" # aborted: "+cancelReason); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
 // runStage executes one activity over its input tuples: real bodies on
 // goroutines, virtual placement via the scheduler, provenance capture.
-func (e *Engine) runStage(act *workflow.Activity, actid, wkfid int64,
+func (e *Engine) runStage(ctx context.Context, act *workflow.Activity, actid, wkfid int64,
 	inputs []workflow.Tuple, fleet []*cloud.VM, clock *float64) (*ActivityStats, []workflow.Tuple, error) {
 
 	var outcomes []activationOutcome
 	if act.Op == workflow.Reduce {
-		outcomes = e.executeReduceBodies(act, inputs)
+		outcomes = e.executeReduceBodies(ctx, act, inputs)
 	} else {
-		outcomes = e.executeBodies(act, inputs)
+		outcomes = e.executeBodies(ctx, act, inputs)
 	}
 
 	stats := &ActivityStats{Tag: act.Tag}
@@ -544,7 +634,7 @@ const (
 // activation indices to worker ranks and collects outcomes, exactly
 // the communication pattern the original SciCumulus built on MPI for
 // Java. Input order of outcomes is preserved.
-func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) []activationOutcome {
+func (e *Engine) executeBodies(ctx context.Context, act *workflow.Activity, inputs []workflow.Tuple) []activationOutcome {
 	outcomes := make([]activationOutcome, len(inputs))
 	var pending []int
 	for i, in := range inputs {
@@ -564,6 +654,12 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 		}
 		pending = append(pending, i)
 	}
+	if ctx.Err() != nil {
+		for _, i := range pending {
+			outcomes[i].aborted = cancelReason
+		}
+		return outcomes
+	}
 	if len(pending) == 0 {
 		return outcomes
 	}
@@ -572,7 +668,7 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 	if workers > len(pending) {
 		workers = len(pending)
 	}
-	workers, releaseTokens := parallel.Tokens().Grab(workers)
+	workers, releaseTokens := e.grab(workers)
 	defer releaseTokens()
 	comm, err := mpj.NewComm(workers + 1)
 	if err != nil {
@@ -630,6 +726,15 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 		}
 		inFlight--
 		if next < len(pending) {
+			if ctx.Err() != nil {
+				// Cancelled mid-stage: stop handing out work; the jobs
+				// already in flight drain, the rest abort.
+				for _, i := range pending[next:] {
+					outcomes[i].aborted = cancelReason
+				}
+				next = len(pending)
+				continue
+			}
 			if master.Send(m.Source, tagJob, pending[next]) != nil {
 				continue // keep draining the jobs already in flight
 			}
@@ -652,7 +757,7 @@ func (e *Engine) executeBodies(act *workflow.Activity, inputs []workflow.Tuple) 
 // RunReduce executes once per group — one activation per group, as
 // the SciCumulus algebra defines. Groups run concurrently on a
 // bounded pool.
-func (e *Engine) executeReduceBodies(act *workflow.Activity, inputs []workflow.Tuple) []activationOutcome {
+func (e *Engine) executeReduceBodies(ctx context.Context, act *workflow.Activity, inputs []workflow.Tuple) []activationOutcome {
 	groups := map[string][]workflow.Tuple{}
 	var order []string
 	for _, in := range inputs {
@@ -667,7 +772,7 @@ func (e *Engine) executeReduceBodies(act *workflow.Activity, inputs []workflow.T
 	if workers > len(order) {
 		workers = len(order)
 	}
-	workers, releaseTokens := parallel.Tokens().Grab(workers)
+	workers, releaseTokens := e.grab(workers)
 	defer releaseTokens()
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -682,6 +787,9 @@ func (e *Engine) executeReduceBodies(act *workflow.Activity, inputs []workflow.T
 				abortReason = reason
 				break
 			}
+		}
+		if abortReason == "" && ctx.Err() != nil {
+			abortReason = cancelReason
 		}
 		if abortReason != "" {
 			outcomes[i].aborted = abortReason

@@ -522,11 +522,13 @@ func (s *Suite) ByName(name string) (string, error) {
 		return s.SearchText()
 	case "pipeline":
 		return s.PipelineText()
+	case "campaigns":
+		return s.CampaignsText()
 	case "prov":
 		return s.ProvText()
 	case "all":
 		return s.All()
 	default:
-		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, search, pipeline, prov, all)", name)
+		return "", fmt.Errorf("experiments: unknown experiment %q (want t1-t3, f5-f11, kernels, search, pipeline, prov, campaigns, all)", name)
 	}
 }

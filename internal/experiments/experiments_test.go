@@ -179,6 +179,55 @@ func TestPipelineQuick(t *testing.T) {
 	}
 }
 
+func TestCampaignsQuick(t *testing.T) {
+	s := &Suite{Quick: true}
+	rep, err := s.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (solo and concurrent)", len(rep.Entries))
+	}
+	solo, four := rep.Entries[0], rep.Entries[1]
+	if solo.Concurrency != 1 || four.Concurrency != 4 {
+		t.Fatalf("concurrency levels = %d, %d, want 1, 4", solo.Concurrency, four.Concurrency)
+	}
+	for _, b := range rep.Entries {
+		if len(b.Runs) != b.Concurrency {
+			t.Errorf("level %d: %d runs", b.Concurrency, len(b.Runs))
+		}
+		if b.TotalWallSecs <= 0 || b.FairnessSpread < 1 {
+			t.Errorf("level %d: wall %v, spread %v", b.Concurrency, b.TotalWallSecs, b.FairnessSpread)
+		}
+		for _, run := range b.Runs {
+			if run.VirtualTET <= 0 || run.Activations <= 0 {
+				t.Errorf("level %d seed %d: empty run %+v", b.Concurrency, run.Seed, run)
+			}
+		}
+	}
+	// Distinct seeds, so the concurrent campaigns are genuinely
+	// different campaigns, not one campaign four times.
+	seeds := map[int64]bool{}
+	for _, run := range four.Runs {
+		seeds[run.Seed] = true
+	}
+	if len(seeds) != 4 {
+		t.Errorf("concurrent level reused seeds: %v", four.Runs)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"fairness_spread", "total_wall_secs", "virtual_tet_secs", "pool_capacity"} {
+		if !strings.Contains(string(js), key) {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+	if out, err := s.ByName("campaigns"); err != nil || !strings.Contains(out, "CAMPAIGN-SERVICE BENCHMARKS") {
+		t.Errorf("ByName(campaigns) = %q, %v", out, err)
+	}
+}
+
 func TestTable3IncludesConsensus(t *testing.T) {
 	s := &Suite{Quick: true}
 	out, err := s.Table3()

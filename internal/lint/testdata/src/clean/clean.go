@@ -104,6 +104,48 @@ func (t *TableShard) StartFlusher(ticks <-chan struct{}, out chan []int) {
 	}()
 }
 
+// CampaignQueue is the disciplined counterpart of the sick fixture's
+// admission surface: early returns release the lock, per-request
+// goroutines observe a stop channel.
+type CampaignQueue struct {
+	mu    sync.Mutex
+	queue []int
+	max   int
+}
+
+// HandleSubmit releases the admission lock on the queue-full early
+// return too, via defer.
+func (q *CampaignQueue) HandleSubmit(id int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.queue) >= q.max {
+		return false
+	}
+	q.queue = append(q.queue, id)
+	return true
+}
+
+// HandleWatch ties the per-request progress publisher to a stop
+// channel (the request context's Done surrogate), so a hung-up
+// client retires its goroutine.
+func (q *CampaignQueue) HandleWatch(stop <-chan struct{}, events chan<- int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case events <- q.depth():
+			}
+		}
+	}()
+}
+
+func (q *CampaignQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.queue)
+}
+
 // tableAt2 mirrors the r²-indexed kernel lookups.
 //
 //unit: r2=Å2

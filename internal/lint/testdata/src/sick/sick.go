@@ -110,6 +110,48 @@ func (t *TableShard) StartFlusher(out chan []int) {
 	}()
 }
 
+// CampaignQueue mirrors the campaign service's admission surface: a
+// FIFO queue under one mutex, HTTP handlers that spawn per-request
+// work. The two handlers below get each half of that protocol wrong.
+type CampaignQueue struct {
+	mu    sync.Mutex
+	queue []int
+	max   int
+	stats int
+}
+
+// HandleSubmit admits a campaign but leaks the admission lock on the
+// queue-full early return, wedging every later submit. The happy
+// path unlocks, so mutexheld's function-scope heuristic is
+// satisfied; only the path-sensitive analysis sees the leak
+// (lockflow, error).
+func (q *CampaignQueue) HandleSubmit(id int) bool {
+	q.mu.Lock()
+	if len(q.queue) >= q.max {
+		return false
+	}
+	q.queue = append(q.queue, id)
+	q.mu.Unlock()
+	return true
+}
+
+// HandleWatch spawns a per-request progress publisher with no
+// shutdown path: one goroutine leaks for every watcher the handler
+// ever served, long after the client hung up (ctxleak, warn).
+func (q *CampaignQueue) HandleWatch() {
+	go func() {
+		for {
+			q.bump()
+		}
+	}()
+}
+
+func (q *CampaignQueue) bump() {
+	q.mu.Lock()
+	q.stats++
+	q.mu.Unlock()
+}
+
 // tableAt2 mirrors the r²-indexed kernel lookups: the parameter is a
 // squared distance.
 //

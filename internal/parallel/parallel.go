@@ -31,9 +31,10 @@ import (
 // Pool is a weighted CPU-token pool. The zero value is unusable; use
 // NewPool or the process-global Tokens.
 type Pool struct {
-	mu  sync.Mutex
-	cap int
-	out int
+	mu       sync.Mutex
+	cap      int
+	out      int
+	accounts int // open Accounts (fair-share divisor)
 }
 
 // NewPool builds a pool with the given capacity (extra workers beyond
@@ -114,4 +115,136 @@ func (p *Pool) Grab(want int) (workers int, release func()) {
 	return 1 + extra, func() {
 		once.Do(func() { p.Release(extra) })
 	}
+}
+
+// Occupancy reports the pool's capacity, the tokens currently granted
+// and the number of open accounts — the numbers a campaign service
+// surfaces in its status endpoint.
+func (p *Pool) Occupancy() (capacity, inUse, accounts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cap, p.out, p.accounts
+}
+
+// fairShareLocked is the per-account holding cap: with A open
+// accounts and capacity C, each account may hold at most ceil(C/A)
+// tokens, so no single campaign's fan-outs can monopolize the budget
+// while others are active. Callers hold p.mu.
+func (p *Pool) fairShareLocked() int {
+	if p.accounts <= 1 {
+		return p.cap
+	}
+	return (p.cap + p.accounts - 1) / p.accounts
+}
+
+// Account is one campaign's view of a shared Pool. Every token an
+// account grabs is charged against both the pool and the account, and
+// the account's outstanding tokens are capped at the pool's fair
+// share (capacity / open accounts, rounded up). N concurrent
+// campaigns therefore degrade fairly: a second campaign arriving
+// mid-flight is guaranteed its share of future grants instead of
+// finding the budget drained by whichever campaign fanned out first.
+// Accounts never block and never grant below the caller's own
+// goroutine, so exhaustion still degrades to sequential execution.
+type Account struct {
+	pool *Pool
+
+	mu     sync.Mutex
+	held   int
+	closed bool
+}
+
+// NewAccount opens a per-campaign account on the pool. Close it when
+// the campaign ends so the fair share of the remaining campaigns
+// grows back.
+func (p *Pool) NewAccount() *Account {
+	p.mu.Lock()
+	p.accounts++
+	p.mu.Unlock()
+	return &Account{pool: p}
+}
+
+// TryAcquire grants up to want tokens without blocking, limited by
+// both the pool's free tokens and the account's fair share, and
+// returns how many were granted (possibly zero).
+func (a *Account) TryAcquire(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0
+	}
+	p := a.pool
+	p.mu.Lock()
+	if shareLeft := p.fairShareLocked() - a.held; want > shareLeft {
+		want = shareLeft
+	}
+	if free := p.cap - p.out; want > free {
+		want = free
+	}
+	if want < 0 {
+		want = 0
+	}
+	p.out += want
+	p.mu.Unlock()
+	a.held += want
+	return want
+}
+
+// Release returns n of the account's tokens to the pool. Releasing
+// more than the account holds is a caller accounting bug and panics.
+func (a *Account) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > a.held {
+		panic(fmt.Sprintf("parallel: account release of %d tokens with %d held", n, a.held))
+	}
+	a.held -= n
+	a.pool.Release(n)
+}
+
+// Grab mirrors Pool.Grab through the account: worker count to use
+// (always ≥ 1) plus an idempotent release function.
+func (a *Account) Grab(want int) (workers int, release func()) {
+	if want <= 1 {
+		return 1, func() {}
+	}
+	extra := a.TryAcquire(want - 1)
+	var once sync.Once
+	return 1 + extra, func() {
+		once.Do(func() { a.Release(extra) })
+	}
+}
+
+// Held returns the account's outstanding tokens.
+func (a *Account) Held() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.held
+}
+
+// Close unregisters the account. Any tokens still held are returned
+// to the pool (a campaign's fan-outs release through their own
+// release funcs before the campaign ends, so a nonzero remainder is
+// defensive). Close is idempotent; a closed account grants nothing.
+func (a *Account) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	if a.held > 0 {
+		a.pool.Release(a.held)
+		a.held = 0
+	}
+	p := a.pool
+	p.mu.Lock()
+	p.accounts--
+	p.mu.Unlock()
 }

@@ -92,6 +92,152 @@ func TestGlobalPoolSized(t *testing.T) {
 	}
 }
 
+func TestAccountFairShare(t *testing.T) {
+	p := NewPool(8)
+	a := p.NewAccount()
+	defer a.Close()
+	// A single account owns the whole budget.
+	if got := a.TryAcquire(8); got != 8 {
+		t.Fatalf("sole account TryAcquire(8) = %d, want 8", got)
+	}
+	a.Release(8)
+
+	// A second account halves the fair share: neither may hold more
+	// than ceil(8/2) = 4 even with the pool otherwise idle.
+	b := p.NewAccount()
+	defer b.Close()
+	if got := a.TryAcquire(8); got != 4 {
+		t.Fatalf("TryAcquire(8) with 2 accounts = %d, want 4 (fair share)", got)
+	}
+	if got := b.TryAcquire(8); got != 4 {
+		t.Fatalf("second account TryAcquire(8) = %d, want 4", got)
+	}
+	if got := a.TryAcquire(1); got != 0 {
+		t.Fatalf("account over fair share granted %d tokens", got)
+	}
+	cap, inUse, accounts := p.Occupancy()
+	if cap != 8 || inUse != 8 || accounts != 2 {
+		t.Fatalf("Occupancy = (%d,%d,%d), want (8,8,2)", cap, inUse, accounts)
+	}
+	b.Release(4)
+	// The freed tokens do not let a exceed its share...
+	if got := a.TryAcquire(4); got != 0 {
+		t.Fatalf("a exceeded fair share by %d after b released", got)
+	}
+	// ...but closing b restores a's full-budget share.
+	b.Close()
+	if got := a.TryAcquire(4); got != 4 {
+		t.Fatalf("TryAcquire(4) after close = %d, want 4", got)
+	}
+	a.Release(8)
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("tokens leaked: InUse = %d", got)
+	}
+}
+
+func TestAccountSharesPoolWithDirectUsers(t *testing.T) {
+	p := NewPool(4)
+	a := p.NewAccount()
+	defer a.Close()
+	// Direct (unaccounted) users still drain the same pool; the
+	// account degrades to whatever is left.
+	if got := p.TryAcquire(3); got != 3 {
+		t.Fatalf("direct TryAcquire(3) = %d", got)
+	}
+	if got := a.TryAcquire(4); got != 1 {
+		t.Fatalf("account TryAcquire(4) with 1 free = %d, want 1", got)
+	}
+	if a.Held() != 1 {
+		t.Fatalf("Held = %d, want 1", a.Held())
+	}
+	p.Release(3)
+	a.Release(1)
+}
+
+func TestAccountGrabAndClose(t *testing.T) {
+	p := NewPool(3)
+	a := p.NewAccount()
+	w, rel := a.Grab(8)
+	if w != 4 {
+		t.Fatalf("Grab(8) = %d workers, want 4", w)
+	}
+	rel()
+	rel() // idempotent
+	if a.Held() != 0 {
+		t.Fatalf("Held after release = %d", a.Held())
+	}
+	// Close with a defensive remainder returns it to the pool.
+	if got := a.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d", got)
+	}
+	a.Close()
+	a.Close() // idempotent
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("Close leaked tokens: InUse = %d", got)
+	}
+	if _, _, accounts := p.Occupancy(); accounts != 0 {
+		t.Fatalf("accounts after close = %d", accounts)
+	}
+	if got := a.TryAcquire(1); got != 0 {
+		t.Fatalf("closed account granted %d tokens", got)
+	}
+	if w, rel := a.Grab(4); w != 1 {
+		t.Fatalf("closed account Grab(4) = %d workers, want 1", w)
+	} else {
+		rel()
+	}
+}
+
+func TestAccountOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("account over-release did not panic")
+		}
+	}()
+	p := NewPool(2)
+	a := p.NewAccount()
+	defer a.Close()
+	a.Release(1)
+}
+
+// TestConcurrentAccounts hammers two accounts and a direct user under
+// -race: outstanding never exceeds capacity, fair share is never
+// exceeded per account, and everything drains at the end.
+func TestConcurrentAccounts(t *testing.T) {
+	p := NewPool(6)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := p.NewAccount()
+			defer a.Close()
+			for j := 0; j < 200; j++ {
+				w, rel := a.Grab(6)
+				if w < 1 || w > 6 {
+					t.Errorf("account Grab(6) = %d workers", w)
+				}
+				rel()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 200; j++ {
+			w, rel := p.Grab(3)
+			if w < 1 || w > 3 {
+				t.Errorf("direct Grab(3) = %d workers", w)
+			}
+			rel()
+		}
+	}()
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("tokens leaked: InUse = %d", got)
+	}
+}
+
 // TestConcurrentGrab hammers the pool from many goroutines under
 // -race: the invariant is that outstanding tokens never exceed
 // capacity and everything is returned at the end.

@@ -52,4 +52,43 @@ go test -run '^$' -bench . -benchtime=1x ./internal/prov
 echo "==> provenance store benchmark smoke (dockbench -exp prov -quick)"
 go run ./cmd/dockbench -exp prov -quick -benchout ''
 
+echo "==> campaign service benchmark smoke (dockbench -exp campaigns -quick)"
+go run ./cmd/dockbench -exp campaigns -quick -benchout ''
+
+# End-to-end serve smoke: start the resident campaign service, submit
+# a tiny campaign over HTTP, poll it to completion, then SIGTERM and
+# require a clean drain. Exercises the same code path as production:
+# real sockets, real signals, real shutdown ordering.
+echo "==> campaign service serve smoke (scidock -serve)"
+go build -o /tmp/scidock-check ./cmd/scidock
+servelog=$(mktemp)
+/tmp/scidock-check -serve 127.0.0.1:0 >"$servelog" 2>&1 &
+servepid=$!
+trap 'kill "$servepid" 2>/dev/null || true; rm -f "$servelog" /tmp/scidock-check' EXIT
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/^scidock: serving campaign API on //p' "$servelog")
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "check: serve smoke: server never reported its address" >&2; cat "$servelog" >&2; exit 1; }
+id=$(curl -sf -X POST "http://$addr/campaigns" \
+	-d '{"mode":"ad4","receptors":2,"ligands":1,"cores":4,"effort":"smoke","seed":7,"disable_failures":true}' \
+	| sed -n 's/.*"id": \([0-9]*\).*/\1/p')
+[ -n "$id" ] || { echo "check: serve smoke: submit returned no id" >&2; exit 1; }
+state=""
+for _ in $(seq 1 600); do
+	state=$(curl -sf "http://$addr/campaigns/$id" | sed -n 's/.*"state": "\([A-Z]*\)".*/\1/p')
+	case "$state" in DONE|FAILED|CANCELLED) break ;; esac
+	sleep 0.1
+done
+[ "$state" = DONE ] || { echo "check: serve smoke: campaign ended in state '$state', want DONE" >&2; exit 1; }
+curl -sf -X POST "http://$addr/campaigns/$id/query?sql=SELECT%20count(*)%20FROM%20ddocking" \
+	| grep -q '"rows"' || { echo "check: serve smoke: provenance query failed" >&2; exit 1; }
+kill -TERM "$servepid"
+wait "$servepid" || { echo "check: serve smoke: server exited non-zero after SIGTERM" >&2; cat "$servelog" >&2; exit 1; }
+grep -q "shutdown complete" "$servelog" || { echo "check: serve smoke: no clean shutdown" >&2; cat "$servelog" >&2; exit 1; }
+trap - EXIT
+rm -f "$servelog" /tmp/scidock-check
+
 echo "check: all gates passed"
