@@ -23,15 +23,16 @@ func main() {
 		out       = flag.String("out", "dataset", "output directory")
 		receptors = flag.Int("receptors", len(data.ReceptorCodes), "number of receptors to write")
 		ligands   = flag.Int("ligands", len(data.LigandCodes), "number of ligands to write")
+		large     = flag.Bool("large", true, "also write the L2-overflow benchmark pair (receptor 9XLR, ligand XL1)")
 	)
 	flag.Parse()
-	if err := run(*out, *receptors, *ligands); err != nil {
+	if err := run(*out, *receptors, *ligands, *large); err != nil {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, receptors, ligands int) error {
+func run(out string, receptors, ligands int, large bool) error {
 	ds, err := data.Small(receptors, ligands)
 	if err != nil {
 		return err
@@ -82,6 +83,36 @@ func run(out string, receptors, ligands int) error {
 		}
 		fmt.Printf("ligand %s: %d atoms (%d heavy)%s\n",
 			code, mol.NumAtoms(), mol.HeavyAtomCount(), note)
+	}
+	if large {
+		rec, rinfo := data.GenerateLargeReceptor()
+		f, err := os.Create(filepath.Join(recDir, rinfo.Code+".pdb"))
+		if err != nil {
+			return err
+		}
+		if err := formats.WritePDB(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("receptor %s: %d atoms, %d residues, class %s  [L2-overflow pair]\n",
+			rinfo.Code, rec.NumAtoms(), rinfo.Residues, rinfo.Class)
+		lig, linfo := data.GenerateLargeLigand()
+		f, err = os.Create(filepath.Join(ligDir, linfo.Code+".sdf"))
+		if err != nil {
+			return err
+		}
+		if err := formats.WriteSDF(f, lig); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("ligand %s: %d atoms (%d heavy)  [L2-overflow pair]\n",
+			linfo.Code, lig.NumAtoms(), lig.HeavyAtomCount())
 	}
 	fmt.Printf("wrote %d receptors and %d ligands under %s\n",
 		len(ds.Receptors), len(ds.Ligands), out)

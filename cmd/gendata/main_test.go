@@ -10,15 +10,17 @@ import (
 
 func TestGendataWritesParsableFiles(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 3, 2); err != nil {
+	if err := run(dir, 3, 2, true); err != nil {
 		t.Fatal(err)
 	}
+	// -large adds the 9XLR receptor and the XL1 ligand on top of the
+	// requested counts.
 	recs, err := filepath.Glob(filepath.Join(dir, "receptors", "*.pdb"))
-	if err != nil || len(recs) != 3 {
+	if err != nil || len(recs) != 4 {
 		t.Fatalf("receptor files = %d, %v", len(recs), err)
 	}
 	ligs, err := filepath.Glob(filepath.Join(dir, "ligands", "*.sdf"))
-	if err != nil || len(ligs) != 2 {
+	if err != nil || len(ligs) != 3 {
 		t.Fatalf("ligand files = %d, %v", len(ligs), err)
 	}
 	// Every emitted file parses back with our own readers.
@@ -45,7 +47,7 @@ func TestGendataWritesParsableFiles(t *testing.T) {
 }
 
 func TestGendataValidation(t *testing.T) {
-	if err := run(t.TempDir(), 0, 1); err == nil {
+	if err := run(t.TempDir(), 0, 1, false); err == nil {
 		t.Error("zero receptors accepted")
 	}
 }

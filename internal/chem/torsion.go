@@ -44,11 +44,11 @@ func BuildTorsionTree(m *Molecule) (*TorsionTree, error) {
 		return nil, fmt.Errorf("chem: cannot build torsion tree of empty molecule %q", m.Name)
 	}
 	adj := m.Adjacency()
-	ring := m.RingAtoms()
+	inCycle := cycleBonds(m, adj)
 
 	rotatable := make([]Bond, 0)
 	for _, b := range m.Bonds {
-		if !bondRotatable(m, adj, ring, b) {
+		if !bondRotatable(m, adj, inCycle, b) {
 			continue
 		}
 		rotatable = append(rotatable, b)
@@ -97,11 +97,86 @@ func bondKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-func bondRotatable(m *Molecule, adj [][]int, ring map[int]bool, b Bond) bool {
+// cycleBonds returns the set of bonds that lie on a cycle — the
+// non-bridge edges of the bond graph. This is the precise form of the
+// "bonds inside rings never rotate" rule: a bond whose BOTH endpoints
+// sit in rings can still rotate when the bond itself is a bridge (a
+// biphenyl link, or a chain segment threaded between two ring
+// systems), which the coarser RingAtoms 2-core test misclassifies.
+// Bridges are found with one Tarjan low-link pass per connected
+// component; multiple parallel bonds between the same atom pair count
+// as a cycle.
+func cycleBonds(m *Molecule, adj [][]int) map[[2]int]bool {
+	n := len(m.Atoms)
+	inCycle := make(map[[2]int]bool)
+	mult := make(map[[2]int]int, len(m.Bonds))
+	for _, b := range m.Bonds {
+		mult[bondKey(b.A, b.B)]++
+	}
+	for k, c := range mult {
+		if c > 1 {
+			inCycle[k] = true
+		}
+	}
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	timer := 0
+	type frame struct{ v, parent, next int }
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		stack := []frame{{start, -1, 0}}
+		disc[start], low[start] = timer, timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.v]) {
+				w := adj[f.v][f.next]
+				f.next++
+				if w == f.parent {
+					// Skip ONE edge back to the parent; parallel bonds
+					// were already marked via mult.
+					f.parent = -2
+					continue
+				}
+				if disc[w] != -1 {
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+					continue
+				}
+				disc[w], low[w] = timer, timer
+				timer++
+				stack = append(stack, frame{w, f.v, 0})
+				continue
+			}
+			// Post-order: fold low into the parent and classify the
+			// tree edge.
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] <= disc[p] {
+					inCycle[bondKey(p, v)] = true
+				}
+			}
+		}
+	}
+	return inCycle
+}
+
+func bondRotatable(m *Molecule, adj [][]int, inCycle map[[2]int]bool, b Bond) bool {
 	if b.Order != Single {
 		return false
 	}
-	if ring[b.A] && ring[b.B] {
+	if inCycle[bondKey(b.A, b.B)] {
 		return false
 	}
 	// Terminal bonds cannot usefully rotate.

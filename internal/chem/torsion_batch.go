@@ -1,6 +1,9 @@
 package chem
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Placement is the chem-level view of a docking pose: the rigid-body
 // transform plus one angle per rotatable bond. It exists so the batched
@@ -14,20 +17,25 @@ type Placement struct {
 }
 
 // KinScratch is the reusable per-owner scratch of ApplyTorsionsBatch:
-// the torsion effect-sets pre-filtered of their axis atoms, the mobile
-// atom set (the union of all effect-sets — every other atom is rigid
-// under torsion application and keeps its base coordinates), and one
-// AoS working conformation. Preparing it is O(atoms + moved) once per
-// (tree, base) pair; warm calls allocate nothing.
+// the flattened torsion replay schedule (each torsion's effect-set
+// pre-filtered of its axis atom, concatenated in tree order) and the
+// base conformation staged as SoA component lanes so a pose
+// initializes with three memmoves instead of a per-atom scatter.
+// Preparing it is O(atoms + moved) once per (tree, base) pair; warm
+// calls allocate nothing.
 //
 // A KinScratch is single-owner scratch, like dock.Workspace.
 type KinScratch struct {
 	tree    *TorsionTree
-	basePtr *Vec3     // identity of the base conformation scr mirrors
-	movedf  [][]int32 // per torsion: Moved minus the Axis2 atom
-	mobile  []int32   // ascending union of all movedf sets
-	scr     []Vec3    // working conformation, immobile entries == base
-	ready   bool
+	basePtr *Vec3 // identity of the base conformation the lanes mirror
+	// Replay schedule: torsion k rotates lane indices
+	// moved[moff[k]:moff[k+1]] about its axis frame. Built once per
+	// tree, replayed across every pose of every window.
+	moved []int32
+	moff  []int32
+	// Base conformation as component lanes.
+	bx, by, bz []float64
+	ready      bool
 }
 
 func (ks *KinScratch) prepare(t *TorsionTree, base []Vec3) {
@@ -35,36 +43,32 @@ func (ks *KinScratch) prepare(t *TorsionTree, base []Vec3) {
 	if len(base) > 0 {
 		bp = &base[0]
 	}
-	if ks.ready && ks.tree == t && ks.basePtr == bp && len(ks.scr) == len(base) {
+	if ks.ready && ks.tree == t && ks.basePtr == bp && len(ks.bx) == len(base) {
 		return
 	}
 	ks.tree = t
 	ks.basePtr = bp
-	if cap(ks.movedf) < len(t.Torsions) {
-		ks.movedf = make([][]int32, len(t.Torsions))
+	ks.moved = ks.moved[:0]
+	if cap(ks.moff) < len(t.Torsions)+1 {
+		ks.moff = make([]int32, 0, len(t.Torsions)+1)
 	}
-	ks.movedf = ks.movedf[:len(t.Torsions)]
-	isMobile := make([]bool, len(base))
-	for k, tor := range t.Torsions {
-		f := ks.movedf[k][:0]
+	ks.moff = ks.moff[:0]
+	ks.moff = append(ks.moff, 0)
+	for _, tor := range t.Torsions {
 		for _, idx := range tor.Moved {
 			if idx == tor.Axis2 {
 				continue // axis atom does not move
 			}
-			f = append(f, int32(idx))
-			isMobile[idx] = true
+			ks.moved = append(ks.moved, int32(idx))
 		}
-		ks.movedf[k] = f
+		ks.moff = append(ks.moff, int32(len(ks.moved)))
 	}
-	ks.mobile = ks.mobile[:0]
-	for i, m := range isMobile {
-		if m {
-			ks.mobile = append(ks.mobile, int32(i))
-		}
+	ks.bx = append(ks.bx[:0], make([]float64, len(base))...)
+	ks.by = append(ks.by[:0], make([]float64, len(base))...)
+	ks.bz = append(ks.bz[:0], make([]float64, len(base))...)
+	for i, v := range base {
+		ks.bx[i], ks.by[i], ks.bz[i] = v.X, v.Y, v.Z
 	}
-	// Full base copy once; per-pose resets only touch mobile entries,
-	// so immobile entries stay bit-equal to base forever.
-	ks.scr = append(ks.scr[:0], base...)
 	ks.ready = true
 }
 
@@ -78,9 +82,12 @@ func (ks *KinScratch) prepare(t *TorsionTree, base []Vec3) {
 // bit-identical (0-ULP) to the per-pose AoS path.
 //
 // Compared to staging each pose through an AoS buffer and copying, the
-// batch kernel resets only the mobile atoms between poses (rigid
-// fragments keep their base coordinates across the whole window) and
-// fuses the re-centre + rotate + translate into the lane store.
+// batch kernel works in the output lanes directly: each pose starts as
+// three memmoves of the base lanes, then the flattened torsion
+// schedule is replayed torsion-outer/pose-inner — the per-torsion
+// index list and axis frame load once and stream across the whole
+// window instead of being re-walked per pose — and the re-centre +
+// rotate + translate pass runs in-lane.
 //
 // Each lane must have length len(poses)*len(base). len(base) must
 // match the conformation the tree was built for, and the base contents
@@ -115,43 +122,158 @@ func (t *TorsionTree) ApplyTorsionsBatch(ks *KinScratch, base []Vec3, poses []Pl
 		return
 	}
 	ks.prepare(t, base)
-	scr := ks.scr
+	n := len(poses)
 	for p := range poses {
-		pl := &poses[p]
-		if len(pl.Angles) != len(t.Torsions) {
-			panic(fmt.Sprintf("chem: %d torsion angles for %d torsions", len(pl.Angles), len(t.Torsions)))
+		if len(poses[p].Angles) != len(t.Torsions) {
+			panic(fmt.Sprintf("chem: %d torsion angles for %d torsions", len(poses[p].Angles), len(t.Torsions)))
 		}
-		// Reset only the atoms the previous pose may have moved.
-		for _, i := range ks.mobile {
-			scr[i] = base[i]
-		}
-		for k := range t.Torsions {
-			ang := pl.Angles[k]
+	}
+	// Stage 1: every pose's lanes start as the base conformation —
+	// three memmoves per pose, no per-atom scatter.
+	for p := 0; p < n; p++ {
+		at := p * stride
+		copy(xs[at:at+stride], ks.bx)
+		copy(ys[at:at+stride], ks.by)
+		copy(zs[at:at+stride], ks.bz)
+	}
+	// Stage 2: replay the torsion schedule torsion-outer/pose-inner.
+	// Poses are mutually independent, and within one pose the torsions
+	// still apply in ascending tree order, so the per-pose sequence of
+	// floating-point operations — axis frame load, AxisAngleQuat, the
+	// rotate-about-b expression — is exactly the per-pose path's, and
+	// the lane values stay bit-identical to it. The loop inversion is
+	// pure scheduling: the torsion's index list stays L1-hot across the
+	// window instead of the whole schedule cycling through per pose.
+	for k := range t.Torsions {
+		tor := &t.Torsions[k]
+		a1, a2 := tor.Axis1, tor.Axis2
+		mlist := ks.moved[ks.moff[k]:ks.moff[k+1]]
+		for p := 0; p < n; p++ {
+			ang := poses[p].Angles[k]
 			if ang == 0 {
 				continue
 			}
-			tor := &t.Torsions[k]
-			a := scr[tor.Axis1]
-			b := scr[tor.Axis2]
+			at := p * stride
+			a := V(xs[at+a1], ys[at+a1], zs[at+a1])
+			b := V(xs[at+a2], ys[at+a2], zs[at+a2])
 			q := AxisAngleQuat(b.Sub(a), ang)
-			for _, idx := range ks.movedf[k] {
-				scr[idx] = q.Rotate(scr[idx].Sub(b)).Add(b)
+			for _, idx := range mlist {
+				j := at + int(idx)
+				w := q.Rotate(V(xs[j], ys[j], zs[j]).Sub(b)).Add(b)
+				xs[j], ys[j], zs[j] = w.X, w.Y, w.Z
 			}
 		}
-		// Sequential centroid, replicating chem.Centroid's op order.
+	}
+	// Stage 3: per pose, sequential centroid (replicating
+	// chem.Centroid's op order) then the rigid-body transform in-lane.
+	for p := range poses {
+		pl := &poses[p]
+		at := p * stride
 		var c Vec3
-		for _, v := range scr {
-			c = c.Add(v)
+		for i := 0; i < stride; i++ {
+			c = c.Add(V(xs[at+i], ys[at+i], zs[at+i]))
 		}
 		c = c.Scale(1 / float64(stride))
 		q := pl.Orientation.Normalize()
 		tr := pl.Translation
-		at := p * stride
-		for i, v := range scr {
-			w := q.Rotate(v.Sub(c)).Add(tr)
-			xs[at+i], ys[at+i], zs[at+i] = w.X, w.Y, w.Z
+		for i := 0; i < stride; i++ {
+			j := at + i
+			w := q.Rotate(V(xs[j], ys[j], zs[j]).Sub(c)).Add(tr)
+			xs[j], ys[j], zs[j] = w.X, w.Y, w.Z
 		}
 	}
+}
+
+// ArcRadiiInto computes, for every torsion of the tree, the arc radii
+// of its effect-set at the given conformation: arcMax[k] is the
+// largest distance of any moved atom (axis atom excluded, matching the
+// rotation rule) from torsion k's axis line, and arcMean[k] is the sum
+// of those distances divided by the TOTAL atom count of the
+// conformation. A rotation of torsion k by Δθ displaces each moved
+// atom along an arc of length |Δθ|·ρ (ρ its distance to the axis), so
+// chord displacements are ≤ |Δθ|·arcMax[k]; and because unmoved atoms
+// contribute zero, the centroid of the whole conformation shifts by at
+// most |Δθ|·arcMean[k]. Degenerate (zero-length) axes rotate nothing
+// (AxisAngleQuat returns identity) and report zero radii.
+//
+// Both output slices must have length len(t.Torsions). The radii are
+// properties of the conformation passed in: window-screening callers
+// evaluate them at the window's anchor conformation.
+//
+//unit: coords=Å arcMax=Å arcMean=Å
+func (t *TorsionTree) ArcRadiiInto(coords []Vec3, arcMax, arcMean []float64) {
+	if len(arcMax) != len(t.Torsions) || len(arcMean) != len(t.Torsions) {
+		panic(fmt.Sprintf("chem: ArcRadiiInto outputs %d/%d for %d torsions",
+			len(arcMax), len(arcMean), len(t.Torsions)))
+	}
+	n := len(coords)
+	for k, tor := range t.Torsions {
+		a := coords[tor.Axis1]
+		b := coords[tor.Axis2]
+		u := b.Sub(a)
+		u2 := u.Dot(u)
+		arcMax[k], arcMean[k] = 0, 0
+		if u2 <= 0 || n == 0 {
+			continue
+		}
+		var maxR, sumR float64
+		for _, idx := range tor.Moved {
+			if idx == tor.Axis2 {
+				continue
+			}
+			w := coords[idx].Sub(a)
+			// Distance to the axis LINE (the rotation orbit radius):
+			// |w|² − (w·û)².
+			proj := w.Dot(u)
+			d2 := w.Dot(w) - proj*proj/u2
+			if d2 < 0 {
+				d2 = 0 // round-off for atoms on the axis
+			}
+			d := math.Sqrt(d2)
+			if d > maxR {
+				maxR = d
+			}
+			sumR += d
+		}
+		arcMax[k] = maxR
+		arcMean[k] = sumR / float64(n)
+	}
+}
+
+// DisplacementBound bounds how far any atom of a pose can sit from its
+// position in the window's anchor pose, given per-coordinate
+// perturbation bounds. The pose pipeline is
+// x_a = R(q)·(t_a(θ) − c(θ)) + T with c the conformation centroid, so
+// with |ΔT| ≤ dT, a relative orientation rotation angle ≤ rot, and
+// every torsion within dtor radians of the anchor's:
+//
+//	|x_a − x⁰_a| ≤ dT + 2·sin(min(rot, π)/2)·radius + Σ_k dtor·(arcMax[k] + arcMean[k])
+//
+// where radius is the anchor's largest |t⁰_a − c⁰| (its atom radius
+// about the centroid): the torsion sum bounds |Δ(t_a − c)| chord by
+// chord (arc radii taken at the anchor conformation; for the
+// single-coordinate probe windows of the Vina optimizer this is exact,
+// for simultaneous multi-torsion perturbations it is the first-order
+// estimate whose rare escapes the per-pose WindowValid fallback
+// absorbs), and the rotation term is the exact worst case
+// |（R−R⁰)·v| = 2·sin(α/2)·|v| over |v| ≤ radius.
+//
+//unit: dT=Å rot=rad dtor=rad radius=Å result=Å
+func DisplacementBound(dT, rot, dtor, radius float64, arcMax, arcMean []float64) float64 {
+	d := dT
+	if rot > 0 {
+		half := rot / 2
+		if half > math.Pi/2 {
+			half = math.Pi / 2
+		}
+		d += 2 * math.Sin(half) * radius
+	}
+	if dtor > 0 {
+		for k := range arcMax {
+			d += dtor * (arcMax[k] + arcMean[k])
+		}
+	}
+	return d
 }
 
 // RigidUnits partitions the nAtoms atoms of the conformation into

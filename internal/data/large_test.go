@@ -1,0 +1,73 @@
+package data_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chem"
+	"repro/internal/data"
+	"repro/internal/prep"
+)
+
+// TestLargeLigandWorkloadShape pins the contract the L2-overflow
+// benchmark pair advertises: after the production preparation pipeline
+// the ligand must land in the 120–180 docked-atom band with at least
+// 14 distinct AD4 atom types and at least 12 rotatable bonds.
+func TestLargeLigandWorkloadShape(t *testing.T) {
+	raw, info := data.GenerateLargeLigand()
+	if info.Code != data.LargeLigandCode {
+		t.Fatalf("info.Code = %q, want %q", info.Code, data.LargeLigandCode)
+	}
+	mol2, err := prep.ConvertSDFToMol2(raw)
+	if err != nil {
+		t.Fatalf("ConvertSDFToMol2: %v", err)
+	}
+	pl, err := prep.PrepareLigand(mol2)
+	if err != nil {
+		t.Fatalf("PrepareLigand: %v", err)
+	}
+	n := pl.Mol.NumAtoms()
+	if n < 120 || n > 180 {
+		t.Errorf("prepared atom count = %d, want 120..180", n)
+	}
+	types := make(map[chem.AtomType]bool)
+	for _, a := range pl.Mol.Atoms {
+		types[a.Type] = true
+	}
+	if len(types) < 14 {
+		t.Errorf("distinct AD4 types = %d (%v), want >= 14", len(types), types)
+	}
+	for _, want := range []chem.AtomType{
+		chem.TypeHD, chem.TypeC, chem.TypeA, chem.TypeN, chem.TypeNA,
+		chem.TypeOA, chem.TypeS, chem.TypeSA, chem.TypeP, chem.TypeF,
+		chem.TypeCl, chem.TypeBr, chem.TypeI, chem.TypeZn,
+	} {
+		if !types[want] {
+			t.Errorf("type inventory missing %s", want)
+		}
+	}
+	if nt := pl.Tree.NumTorsions(); nt < 12 {
+		t.Errorf("torsions = %d, want >= 12", nt)
+	}
+}
+
+// TestLargePairDeterministic pins byte-for-byte generation determinism
+// — the property scripts/check.sh's gendata stage audits on disk.
+func TestLargePairDeterministic(t *testing.T) {
+	l1, _ := data.GenerateLargeLigand()
+	l2, _ := data.GenerateLargeLigand()
+	if !reflect.DeepEqual(l1, l2) {
+		t.Error("data.GenerateLargeLigand is not deterministic")
+	}
+	r1, i1 := data.GenerateLargeReceptor()
+	r2, i2 := data.GenerateLargeReceptor()
+	if !reflect.DeepEqual(r1, r2) || i1 != i2 {
+		t.Error("data.GenerateLargeReceptor is not deterministic")
+	}
+	if r1.NumAtoms() < 500 {
+		t.Errorf("large receptor has %d atoms, want a dense shell (>= 500)", r1.NumAtoms())
+	}
+	if _, err := prep.PrepareReceptor(r1); err != nil {
+		t.Fatalf("PrepareReceptor: %v", err)
+	}
+}

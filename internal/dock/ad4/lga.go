@@ -235,7 +235,7 @@ func (e *Engine) runLGABatch(r *rand.Rand, s *Scorer, lig *dock.Ligand, ws *dock
 			pending = append(pending, i)
 			if ls {
 				flush()
-				next[i].feb = e.solisWets(r, s, ws, child, next[i].feb, &evals)
+				next[i].feb = e.solisWetsWindowed(r, s, ws, child, next[i].feb, &evals)
 			} else if b.Len() >= maxB {
 				flush()
 			}
@@ -252,7 +252,7 @@ func (e *Engine) runLGABatch(r *rand.Rand, s *Scorer, lig *dock.Ligand, ws *dock
 	champ := ws.Get()
 	defer ws.Put(champ)
 	champ.Set(best.pose)
-	feb := e.solisWets(r, s, ws, champ, best.feb, new(int))
+	feb := e.solisWetsWindowed(r, s, ws, champ, best.feb, new(int))
 	if feb < best.feb {
 		return champ.Clone(), feb
 	}
@@ -428,6 +428,147 @@ func (e *Engine) solisWets(r *rand.Rand, s *Scorer, ws *dock.Workspace, p *dock.
 		if fail >= 4 {
 			rho *= 0.5
 			fail = 0
+		}
+	}
+	p.Set(*cur)
+	return curFeb
+}
+
+// solisWetsWindowed is solisWets restructured around speculative
+// incumbent-anchored windows, byte-identical to it by construction
+// (the batched LGA uses it; the reference path keeps solisWets, and
+// TestDockMaxBatchDeterministic pins the two against each other).
+//
+// The restructuring rests on two facts about the sequential loop.
+// First, every iteration consumes exactly PerturbDrawCount draws
+// before anything else reads the RNG, so the draws for a run of
+// future iterations can be taken up front without moving any draw
+// relative to the stream. Second, rho and the incumbent can only
+// change at an accept (succ bookkeeping, swap) or when fail reaches
+// 4 (halving) — so across a window of w = min(4−fail, remaining
+// iterations) candidates, as long as every one of them is rejected,
+// all w are perturbations of the SAME incumbent at the SAME rho, and
+// the halving (and any rho ≤ rhoMin exit) cannot fire before the
+// window's last element. Rejection is the overwhelmingly common case
+// in Solis-Wets, so the window usually speculates correctly.
+//
+// Each window therefore: draws w·PerturbDrawCount raws, materializes
+// the w candidates from the incumbent, sets the batch window at the
+// incumbent with a displacement bound computed from the ACTUAL draws
+// (translation norm, rotation angle, per-torsion arcs — so the bound
+// is tight for this window, not a worst case), and scores all w in
+// one batched call — fast kernel under tolerance mode, exact
+// otherwise — through the shared window gather/live-pair machinery.
+// The results are then replayed in iteration order with the exact
+// sequential bookkeeping. Until the first accept the speculation is
+// valid: the batched score of candidate j is bit-identical to what
+// the sequential loop would have computed (kernel pose-purity), so
+// screens, accepts and evals tick identically. At the first accept
+// the remaining candidates are stale — built from the wrong
+// incumbent — so the replay falls back to rebuilding each remaining
+// candidate from its pre-drawn raws against the CURRENT incumbent
+// and rho, which is exactly the sequential iteration with its draws
+// taken earlier. Within a window the loop guard cannot exit early
+// (rho halves only at the window's last element and only doubles
+// after accepts), so the draw count per window matches the
+// sequential path exactly.
+func (e *Engine) solisWetsWindowed(r *rand.Rand, s *Scorer, ws *dock.Workspace, p *dock.Pose, feb float64, evals *int) float64 {
+	rho := 1.0
+	const rhoMin = 0.01
+	succ, fail := 0, 0
+	tol := e.Precision == dock.PrecisionTolerance
+	cur, cand := ws.Get(), ws.Get()
+	defer ws.Put(cur)
+	defer ws.Put(cand)
+	cur.Set(*p)
+	curFeb := feb
+	nt := len(p.Torsions)
+	nd := dock.PerturbDrawCount(nt)
+	arcMax, arcMean := s.Lig.ArcRadii()
+	b := ws.Batch()
+	defer b.ClearWindow()
+	var febs [4]float64
+	for it := 0; it < e.Params.LocalIts && rho > rhoMin; {
+		w := 4 - fail
+		if rem := e.Params.LocalIts - it; w > rem {
+			w = rem
+		}
+		raws := ws.Floats(w * nd)
+		for j := 0; j < w; j++ {
+			dock.PerturbDraws(r, raws[j*nd:(j+1)*nd])
+		}
+		dt, da := rho*0.5, rho*0.15
+		radius := b.SetWindow(*cur)
+		bound := 0.0
+		for j := 0; j < w; j++ {
+			raw := raws[j*nd : (j+1)*nd]
+			dT := dt * math.Sqrt(raw[0]*raw[0]+raw[1]*raw[1]+raw[2]*raw[2])
+			d := chem.DisplacementBound(dT, math.Abs(raw[6])*da, 0, radius, nil, nil)
+			for k := 0; k < nt; k++ {
+				d += math.Abs(raw[7+k]) * da * (arcMax[k] + arcMean[k])
+			}
+			if d > bound {
+				bound = d
+			}
+		}
+		b.SetWindowBound(bound)
+		b.Reset()
+		for j := 0; j < w; j++ {
+			dock.PerturbApplyRaw(raws[j*nd:(j+1)*nd], cand, *cur, dt, da)
+			// ClampToBox only pulls coordinates toward the in-box
+			// incumbent, so it cannot push a pose past the bound.
+			dock.ClampToBox(cand, e.Box)
+			b.Append(*cand)
+		}
+		if tol {
+			s.ScoreBatchFast(b, febs[:w])
+		} else {
+			s.ScoreBatch(b, febs[:w])
+		}
+		b.Reset()
+		stale := false
+		for j := 0; j < w; j++ {
+			raw := raws[j*nd : (j+1)*nd]
+			candFeb := math.Inf(1)
+			if !stale {
+				if !tol {
+					candFeb = febs[j]
+					if candFeb < curFeb {
+						dock.PerturbApplyRaw(raw, cand, *cur, dt, da)
+						dock.ClampToBox(cand, e.Box)
+					}
+				} else if febs[j] <= curFeb+FastMargin(curFeb) {
+					dock.PerturbApplyRaw(raw, cand, *cur, dt, da)
+					dock.ClampToBox(cand, e.Box)
+					candFeb = s.Score(ws.Coords(*cand))
+				}
+			} else {
+				dock.PerturbApplyRaw(raw, cand, *cur, rho*0.5, rho*0.15)
+				dock.ClampToBox(cand, e.Box)
+				if !tol || s.ScoreFast1(b, *cand) <= curFeb+FastMargin(curFeb) {
+					candFeb = s.Score(ws.Coords(*cand))
+				}
+			}
+			*evals++
+			if candFeb < curFeb {
+				cur, cand = cand, cur
+				curFeb = candFeb
+				succ++
+				fail = 0
+				stale = true
+			} else {
+				fail++
+				succ = 0
+			}
+			if succ >= 4 {
+				rho *= 2
+				succ = 0
+			}
+			if fail >= 4 {
+				rho *= 0.5
+				fail = 0
+			}
+			it++
 		}
 	}
 	p.Set(*cur)

@@ -38,10 +38,14 @@ func FastMargin(e float64) float64 {
 }
 
 // fastIntraPair is one cross-unit intramolecular pair of the fast
-// path: atom indices and its combined table's offset in the bank.
+// path: atom indices and its table's offset in the bank. In combined
+// mode the table folds the pair's Coulomb term and qq is unused; in
+// split mode (see buildFast) the table is radial-only and qq carries
+// the Coulomb factor applied per pose in float64.
 type fastIntraPair struct {
 	i, j int32
 	off  int32
+	qq   float64
 }
 
 // Three-regime intra table geometry. The combined per-pair tables are
@@ -89,7 +93,21 @@ type fastState struct {
 	bank       []float32
 	intraVar   []fastIntraPair
 	rigidConst float64 // exact-table intra energy of the same-unit pairs
+	split      bool    // radial-only bank + per-pair float64 Coulomb
 }
+
+// splitBankNodes gates the combined bank: one combined table per
+// distinct (radial table, charge product), and continuous Gasteiger
+// charges make nearly every pair's qq distinct — on a production-sized
+// ligand the combined bank scales with PAIR count, not type-pair
+// count, and would run to hundreds of megabytes. Beyond this budget
+// (~4 MB of float32 nodes) buildFast switches to split mode:
+// radial-only tables deduplicated by *tables.Radial (bounded by the
+// type inventory) plus the exact qq/r² Coulomb term per pair-pose in
+// float64 — bit-exact Coulomb, the same three-regime radial
+// resolution, and float64 intra accumulation so the thousands-of-pairs
+// sum cannot erode the FastAbsTol envelope.
+const splitBankNodes = 1 << 20
 
 // cutBoundaryEps guards the rigid fold: a same-unit pair whose base
 // separation sits within this band of the cutoff stays per-pose, so
@@ -137,35 +155,64 @@ func (s *Scorer) buildFast() {
 	// node k holds tbl(r²ₖ) + qq/r²ₖ with sub-RMin² nodes pinned to
 	// the clamp value — RMin²·512 = node 128 exactly, so a clamped
 	// query interpolates the clamp value with zero error, like the
-	// exact path's r ≥ 0.5 Å clamp.
+	// exact path's r ≥ 0.5 Å clamp. When the combined bank would
+	// overflow splitBankNodes, split mode stores radial-only tables
+	// instead and keeps each pair's qq for the per-pose float64 Coulomb
+	// term.
 	type combKey struct {
 		tbl *tables.Radial
 		qq  float64
 	}
-	var comb []float32
-	seen := make(map[combKey]int32, len(f.intraVar))
+	distinct := make(map[combKey]struct{}, len(f.intraVar))
 	for k := range f.intraVar {
-		ck := combKey{varTbl[k], varQQ[k]}
-		o, ok := seen[ck]
-		if !ok {
-			o = int32(len(comb))
-			for i := 0; i < intraNNodes; i++ {
-				u := intraNodeR2(i)
-				if u < tables.RMin2 {
-					u = tables.RMin2
+		distinct[combKey{varTbl[k], varQQ[k]}] = struct{}{}
+	}
+	var bank []float32
+	if len(distinct)*intraNNodes > splitBankNodes {
+		f.split = true
+		seen := make(map[*tables.Radial]int32)
+		for k := range f.intraVar {
+			t := varTbl[k]
+			o, ok := seen[t]
+			if !ok {
+				o = int32(len(bank))
+				for i := 0; i < intraNNodes; i++ {
+					u := intraNodeR2(i)
+					if u < tables.RMin2 {
+						u = tables.RMin2
+					}
+					bank = append(bank, float32(t.At2(u)))
 				}
-				comb = append(comb, float32(varTbl[k].At2(u)+varQQ[k]/u))
+				seen[t] = o
 			}
-			seen[ck] = o
+			f.intraVar[k].off = o
+			f.intraVar[k].qq = varQQ[k]
 		}
-		f.intraVar[k].off = o
+	} else {
+		seen := make(map[combKey]int32, len(f.intraVar))
+		for k := range f.intraVar {
+			ck := combKey{varTbl[k], varQQ[k]}
+			o, ok := seen[ck]
+			if !ok {
+				o = int32(len(bank))
+				for i := 0; i < intraNNodes; i++ {
+					u := intraNodeR2(i)
+					if u < tables.RMin2 {
+						u = tables.RMin2
+					}
+					bank = append(bank, float32(varTbl[k].At2(u)+varQQ[k]/u))
+				}
+				seen[ck] = o
+			}
+			f.intraVar[k].off = o
+		}
 	}
 	// One padding node: the written-out interpolation in ScoreBatchFast
 	// drops the last-node clamp (the cutoff truncation already bounds
 	// the segment index), so a query landing exactly on a table's last
 	// node reads one element past it — the next table's first node, or
 	// this padding — at weight zero.
-	f.bank = append(comb, 0)
+	f.bank = append(bank, 0)
 
 	sort.Slice(f.intraVar, func(a, b int) bool {
 		pa, pb := f.intraVar[a], f.intraVar[b]
@@ -205,8 +252,15 @@ func (s *Scorer) ScoreBatchFast(b *dock.Batch, out []float64) {
 	out = out[:n]
 	xs, ys, zs := b.SoA()
 	stride := b.Stride()
-	acc := b.Scratch32(2 * n)
-	inter, intra := acc[:n], acc[n:]
+	var inter, intra []float32
+	var intra64 []float64
+	if f.split {
+		inter = b.Scratch32(n)
+		intra64 = b.Scratch(n)
+	} else {
+		acc := b.Scratch32(2 * n)
+		inter, intra = acc[:n], acc[n:]
+	}
 
 	for i := 0; i < stride; i++ {
 		s.Maps.InterAccumFast(s.atomTypes[i], xs[i:], ys[i:], zs[i:], stride,
@@ -215,101 +269,228 @@ func (s *Scorer) ScoreBatchFast(b *dock.Batch, out []float64) {
 
 	bank := f.bank
 	const cut2 = intraCutoff * intraCutoff
-	// Pair-major: the per-pair constants (indices, offset) hoist out of
-	// the pose loop and amortize across the whole window, and the batch
-	// SoA the inner loop streams is L2-resident. Each pair reads its
-	// combined vdW+Coulomb table on the three-regime grid — one lerp
-	// per pair-pose, written out because the call form is beyond the
-	// inliner's budget and this loop is the fast path's hottest. The
-	// truncated-and-clamped r2 keeps the segment index in
-	// [0, intraNNodes-1]; the bank's per-table successor node (next
-	// table's first node, or the final padding node) makes the +1 read
-	// safe when r2 lands exactly on the last node, where its weight is
-	// zero.
-	for _, pr := range f.intraVar {
-		i, j := int(pr.i), int(pr.j)
-		off := pr.off
-		xi, yi, zi := xs[i:], ys[i:], zs[i:]
-		xj, yj, zj := xs[j:], ys[j:], zs[j:]
-		// Unrolled by two with independent chains: each iteration's
-		// r² → coordinate → two table loads → lerp is one long
-		// dependency chain, so pairing poses keeps a second set of
-		// table loads in flight while the first resolves.
-		p := 0
-		at := 0
-		for ; p+1 < n; p += 2 {
-			at2 := at + stride
-			dxa := xi[at] - xj[at]
-			dya := yi[at] - yj[at]
-			dza := zi[at] - zj[at]
-			dxb := xi[at2] - xj[at2]
-			dyb := yi[at2] - yj[at2]
-			dzb := zi[at2] - zj[at2]
-			r2a := dxa*dxa + dya*dya + dza*dza
-			r2b := dxb*dxb + dyb*dyb + dzb*dzb
-			at += 2 * stride
-			if r2a <= cut2 {
-				if r2a < tables.RMin2 {
-					r2a = tables.RMin2
+	anchor, bound, win := b.Window()
+	switch {
+	case win:
+		// Active window: dead pairs (anchor separation beyond
+		// intraCutoff + 2·bound) are skipped for WindowValid poses — they
+		// contribute no term, so the per-pose accumulation sequence over
+		// the surviving pairs is the full loop's and the value stays a
+		// pure function of the pose. Escaped poses walk the full list.
+		// fastIntraAt is the hot loops' lerp in call form — identical
+		// float32 arithmetic, so windowed and windowless values agree to
+		// the bit.
+		valid := b.WindowValid()
+		live := s.windowIntraLiveFast(b, f, anchor, bound)
+		for _, kk := range live {
+			pr := &f.intraVar[kk]
+			i, j := int(pr.i), int(pr.j)
+			for p := 0; p < n; p++ {
+				if !valid[p] {
+					continue
 				}
-				x := float32(r2a * tables.FastInvCore)
-				if r2a >= intraWallR2 {
-					x = float32(intraWallBins + (r2a-intraWallR2)*intraInvMid)
+				at := p * stride
+				dx := xs[at+i] - xs[at+j]
+				dy := ys[at+i] - ys[at+j]
+				dz := zs[at+i] - zs[at+j]
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
 				}
-				if r2a >= tables.SplitR2 {
-					x = float32(intraWallBins + intraMidBins + (r2a-tables.SplitR2)*tables.FastInvTail)
+				if r2 < tables.RMin2 {
+					r2 = tables.RMin2
+				}
+				if f.split {
+					intra64[p] += float64(fastIntraAt(bank, pr.off, r2)) + pr.qq/r2
+				} else {
+					intra[p] += fastIntraAt(bank, pr.off, r2)
+				}
+			}
+		}
+		for p := 0; p < n; p++ {
+			if valid[p] {
+				continue
+			}
+			at := p * stride
+			for t := range f.intraVar {
+				pr := &f.intraVar[t]
+				i, j := int(pr.i), int(pr.j)
+				dx := xs[at+i] - xs[at+j]
+				dy := ys[at+i] - ys[at+j]
+				dz := zs[at+i] - zs[at+j]
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
+				}
+				if r2 < tables.RMin2 {
+					r2 = tables.RMin2
+				}
+				if f.split {
+					intra64[p] += float64(fastIntraAt(bank, pr.off, r2)) + pr.qq/r2
+				} else {
+					intra[p] += fastIntraAt(bank, pr.off, r2)
+				}
+			}
+		}
+	case f.split:
+		// Split mode, no window: pair-major like the combined loop, with
+		// the radial lerp in float32 (same expressions as fastIntraAt)
+		// and the Coulomb term and accumulation in float64.
+		for t := range f.intraVar {
+			pr := &f.intraVar[t]
+			i, j := int(pr.i), int(pr.j)
+			off := pr.off
+			qq := pr.qq
+			xi, yi, zi := xs[i:], ys[i:], zs[i:]
+			xj, yj, zj := xs[j:], ys[j:], zs[j:]
+			at := 0
+			for p := 0; p < n; p++ {
+				dx := xi[at] - xj[at]
+				dy := yi[at] - yj[at]
+				dz := zi[at] - zj[at]
+				at += stride
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
+				}
+				if r2 < tables.RMin2 {
+					r2 = tables.RMin2
+				}
+				x := float32(r2 * tables.FastInvCore)
+				if r2 >= intraWallR2 {
+					x = float32(intraWallBins + (r2-intraWallR2)*intraInvMid)
+				}
+				if r2 >= tables.SplitR2 {
+					x = float32(intraWallBins + intraMidBins + (r2-tables.SplitR2)*tables.FastInvTail)
+				}
+				ib := int32(x)
+				w := x - float32(ib)
+				v := bank[off+ib]
+				intra64[p] += float64(v+w*(bank[off+ib+1]-v)) + qq/r2
+			}
+		}
+	default:
+		// Pair-major: the per-pair constants (indices, offset) hoist out of
+		// the pose loop and amortize across the whole window, and the batch
+		// SoA the inner loop streams is L2-resident. Each pair reads its
+		// combined vdW+Coulomb table on the three-regime grid — one lerp
+		// per pair-pose, written out because the call form is beyond the
+		// inliner's budget and this loop is the fast path's hottest. The
+		// truncated-and-clamped r2 keeps the segment index in
+		// [0, intraNNodes-1]; the bank's per-table successor node (next
+		// table's first node, or the final padding node) makes the +1 read
+		// safe when r2 lands exactly on the last node, where its weight is
+		// zero.
+		for _, pr := range f.intraVar {
+			i, j := int(pr.i), int(pr.j)
+			off := pr.off
+			xi, yi, zi := xs[i:], ys[i:], zs[i:]
+			xj, yj, zj := xs[j:], ys[j:], zs[j:]
+			// Unrolled by two with independent chains: each iteration's
+			// r² → coordinate → two table loads → lerp is one long
+			// dependency chain, so pairing poses keeps a second set of
+			// table loads in flight while the first resolves.
+			p := 0
+			at := 0
+			for ; p+1 < n; p += 2 {
+				at2 := at + stride
+				dxa := xi[at] - xj[at]
+				dya := yi[at] - yj[at]
+				dza := zi[at] - zj[at]
+				dxb := xi[at2] - xj[at2]
+				dyb := yi[at2] - yj[at2]
+				dzb := zi[at2] - zj[at2]
+				r2a := dxa*dxa + dya*dya + dza*dza
+				r2b := dxb*dxb + dyb*dyb + dzb*dzb
+				at += 2 * stride
+				if r2a <= cut2 {
+					if r2a < tables.RMin2 {
+						r2a = tables.RMin2
+					}
+					x := float32(r2a * tables.FastInvCore)
+					if r2a >= intraWallR2 {
+						x = float32(intraWallBins + (r2a-intraWallR2)*intraInvMid)
+					}
+					if r2a >= tables.SplitR2 {
+						x = float32(intraWallBins + intraMidBins + (r2a-tables.SplitR2)*tables.FastInvTail)
+					}
+					ib := int32(x)
+					w := x - float32(ib)
+					v := bank[off+ib]
+					intra[p] += v + w*(bank[off+ib+1]-v)
+				}
+				if r2b <= cut2 {
+					if r2b < tables.RMin2 {
+						r2b = tables.RMin2
+					}
+					x := float32(r2b * tables.FastInvCore)
+					if r2b >= intraWallR2 {
+						x = float32(intraWallBins + (r2b-intraWallR2)*intraInvMid)
+					}
+					if r2b >= tables.SplitR2 {
+						x = float32(intraWallBins + intraMidBins + (r2b-tables.SplitR2)*tables.FastInvTail)
+					}
+					ib := int32(x)
+					w := x - float32(ib)
+					v := bank[off+ib]
+					intra[p+1] += v + w*(bank[off+ib+1]-v)
+				}
+			}
+			for ; p < n; p++ {
+				dx := xi[at] - xj[at]
+				dy := yi[at] - yj[at]
+				dz := zi[at] - zj[at]
+				at += stride
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > cut2 {
+					continue
+				}
+				if r2 < tables.RMin2 {
+					r2 = tables.RMin2
+				}
+				x := float32(r2 * tables.FastInvCore)
+				if r2 >= intraWallR2 {
+					x = float32(intraWallBins + (r2-intraWallR2)*intraInvMid)
+				}
+				if r2 >= tables.SplitR2 {
+					x = float32(intraWallBins + intraMidBins + (r2-tables.SplitR2)*tables.FastInvTail)
 				}
 				ib := int32(x)
 				w := x - float32(ib)
 				v := bank[off+ib]
 				intra[p] += v + w*(bank[off+ib+1]-v)
 			}
-			if r2b <= cut2 {
-				if r2b < tables.RMin2 {
-					r2b = tables.RMin2
-				}
-				x := float32(r2b * tables.FastInvCore)
-				if r2b >= intraWallR2 {
-					x = float32(intraWallBins + (r2b-intraWallR2)*intraInvMid)
-				}
-				if r2b >= tables.SplitR2 {
-					x = float32(intraWallBins + intraMidBins + (r2b-tables.SplitR2)*tables.FastInvTail)
-				}
-				ib := int32(x)
-				w := x - float32(ib)
-				v := bank[off+ib]
-				intra[p+1] += v + w*(bank[off+ib+1]-v)
-			}
-		}
-		for ; p < n; p++ {
-			dx := xi[at] - xj[at]
-			dy := yi[at] - yj[at]
-			dz := zi[at] - zj[at]
-			at += stride
-			r2 := dx*dx + dy*dy + dz*dz
-			if r2 > cut2 {
-				continue
-			}
-			if r2 < tables.RMin2 {
-				r2 = tables.RMin2
-			}
-			x := float32(r2 * tables.FastInvCore)
-			if r2 >= intraWallR2 {
-				x = float32(intraWallBins + (r2-intraWallR2)*intraInvMid)
-			}
-			if r2 >= tables.SplitR2 {
-				x = float32(intraWallBins + intraMidBins + (r2-tables.SplitR2)*tables.FastInvTail)
-			}
-			ib := int32(x)
-			w := x - float32(ib)
-			v := bank[off+ib]
-			intra[p] += v + w*(bank[off+ib+1]-v)
 		}
 	}
 
-	for p := 0; p < n; p++ {
-		out[p] = float64(inter[p]) + weightIntra*(float64(intra[p])+f.rigidConst) + s.torsTerm
+	if f.split {
+		for p := 0; p < n; p++ {
+			out[p] = float64(inter[p]) + weightIntra*(intra64[p]+f.rigidConst) + s.torsTerm
+		}
+	} else {
+		for p := 0; p < n; p++ {
+			out[p] = float64(inter[p]) + weightIntra*(float64(intra[p])+f.rigidConst) + s.torsTerm
+		}
 	}
+}
+
+// fastIntraAt is the three-regime lerp of the hot loops in call form,
+// for the windowed paths: the expressions are the written-out loops'
+// character for character, so the float32 result is bit-identical and
+// windowed evaluation cannot perturb a pose's value. r2 must already
+// carry the RMin² clamp and sit within the cutoff.
+func fastIntraAt(bank []float32, off int32, r2 float64) float32 {
+	x := float32(r2 * tables.FastInvCore)
+	if r2 >= intraWallR2 {
+		x = float32(intraWallBins + (r2-intraWallR2)*intraInvMid)
+	}
+	if r2 >= tables.SplitR2 {
+		x = float32(intraWallBins + intraMidBins + (r2-tables.SplitR2)*tables.FastInvTail)
+	}
+	ib := int32(x)
+	w := x - float32(ib)
+	v := bank[off+ib]
+	return v + w*(bank[off+ib+1]-v)
 }
 
 // ScoreFast1 runs the fast kernel on a single pose through the given

@@ -36,6 +36,30 @@ type Batch struct {
 	acc        []float64 // scorer per-pose accumulator scratch
 	acc32      []float32 // fast-path float32 accumulator scratch
 	hits       []Hit     // scorer hit gather scratch
+
+	// Incumbent-anchored window state (window.go). Deliberately NOT
+	// cleared by Reset: the search loops refill the batch chunk by chunk
+	// inside one window, and the shared gather must survive the refills.
+	win struct {
+		set    bool
+		stamp  uint64 // bumped by SetWindow/SetWindowBound; keys the caches
+		anchor []chem.Vec3
+		pose   Pose // scratch copy used to materialize the anchor
+		bound  float64
+		bound2 float64
+		validN int // poses for which valid[] is computed
+		valid  []bool
+
+		// Engine-owned caches, valid while owner and stamp both match.
+		gatherOwner any
+		gatherStamp uint64
+		cands       []PackedAtom
+		offs        []int32
+
+		pairOwner any
+		pairStamp uint64
+		pairs     []int32
+	}
 }
 
 // Hit is one in-cutoff candidate of a batched scoring query: its
@@ -75,8 +99,10 @@ func (b *Batch) Len() int { return b.n }
 // index p*Stride()+i of each component slice.
 func (b *Batch) Stride() int { return b.stride }
 
-// Reset empties the batch, keeping its storage.
-func (b *Batch) Reset() { b.n, b.mat = 0, 0 }
+// Reset empties the batch, keeping its storage. The window (if set)
+// stays active — only the per-pose validity cache is dropped with the
+// poses; use ClearWindow to end a window.
+func (b *Batch) Reset() { b.n, b.mat, b.win.validN = 0, 0, 0 }
 
 // SoA returns the three component slices, each Len()*Stride() long,
 // materializing any poses appended since the last call. They alias the

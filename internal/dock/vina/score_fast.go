@@ -162,14 +162,37 @@ func (s *Scorer) ScoreBatchFast(b *dock.Batch, out []float64) {
 	bank := f.bank
 	const cut2 = cutoff * cutoff
 
+	// Active window: share the anchor gather across the window's poses
+	// exactly as ScoreBatch does. The filtered hit sequence is the one
+	// Gather would emit, so the float32 accumulation — and with it the
+	// pose-purity that ScoreFast1 and the batch-invariance pin rely on —
+	// is unchanged; escaped poses take the per-pose gather.
+	anchor, bound, win := b.Window()
+	var valid []bool
+	var cands []dock.PackedAtom
+	var coffs []int32
+	if win {
+		valid = b.WindowValid()
+		cands, coffs = s.windowGather(b, anchor, bound)
+	}
+
 	for i := 0; i < stride; i++ {
 		if s.ligIsH[i] {
 			continue
 		}
 		offs := f.interOffs[i]
+		var span []dock.PackedAtom
+		if win {
+			span = cands[coffs[i]:coffs[i+1]]
+		}
 		for p := 0; p < n; p++ {
 			a := p*stride + i
-			m := s.packed.Gather(chem.V(xs[a], ys[a], zs[a]), cut2, hits)
+			var m int
+			if win && valid[p] {
+				m = dock.FilterSpan(span, xs[a], ys[a], zs[a], cut2, hits)
+			} else {
+				m = s.packed.Gather(chem.V(xs[a], ys[a], zs[a]), cut2, hits)
+			}
 			// Four independent accumulators: the evaluation loop is
 			// latency-bound on the float32 add chain (one dependent add
 			// per hit), so splitting the sum quadruples the throughput.
@@ -190,16 +213,57 @@ func (s *Scorer) ScoreBatchFast(b *dock.Batch, out []float64) {
 		}
 	}
 
-	for _, pr := range f.intraVar {
-		i, j := int(pr.i), int(pr.j)
-		off := pr.off
+	if win {
+		// Dead pairs (anchor separation beyond cutoff + 2·bound) are
+		// skipped for valid poses; they contribute no term, so the
+		// per-pose float32 sequence over the surviving pairs is the full
+		// loop's. Escaped poses walk the full list in order.
+		live := s.windowIntraLiveFast(b, f, anchor, bound)
+		for _, kk := range live {
+			pr := &f.intraVar[kk]
+			i, j := int(pr.i), int(pr.j)
+			off := pr.off
+			for p := 0; p < n; p++ {
+				if !valid[p] {
+					continue
+				}
+				at := p * stride
+				dx := xs[at+i] - xs[at+j]
+				dy := ys[at+i] - ys[at+j]
+				dz := zs[at+i] - zs[at+j]
+				if r2 := dx*dx + dy*dy + dz*dz; r2 <= cut2 {
+					intra[p] += tables.FastAt(bank, off, r2)
+				}
+			}
+		}
 		for p := 0; p < n; p++ {
+			if valid[p] {
+				continue
+			}
 			at := p * stride
-			dx := xs[at+i] - xs[at+j]
-			dy := ys[at+i] - ys[at+j]
-			dz := zs[at+i] - zs[at+j]
-			if r2 := dx*dx + dy*dy + dz*dz; r2 <= cut2 {
-				intra[p] += tables.FastAt(bank, off, r2)
+			for t := range f.intraVar {
+				pr := &f.intraVar[t]
+				i, j := int(pr.i), int(pr.j)
+				dx := xs[at+i] - xs[at+j]
+				dy := ys[at+i] - ys[at+j]
+				dz := zs[at+i] - zs[at+j]
+				if r2 := dx*dx + dy*dy + dz*dz; r2 <= cut2 {
+					intra[p] += tables.FastAt(bank, pr.off, r2)
+				}
+			}
+		}
+	} else {
+		for _, pr := range f.intraVar {
+			i, j := int(pr.i), int(pr.j)
+			off := pr.off
+			for p := 0; p < n; p++ {
+				at := p * stride
+				dx := xs[at+i] - xs[at+j]
+				dy := ys[at+i] - ys[at+j]
+				dz := zs[at+i] - zs[at+j]
+				if r2 := dx*dx + dy*dy + dz*dz; r2 <= cut2 {
+					intra[p] += tables.FastAt(bank, off, r2)
+				}
 			}
 		}
 	}

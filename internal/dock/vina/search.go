@@ -266,13 +266,37 @@ func (e *Engine) localOptimizeBatch(s *Scorer, ws *dock.Workspace, box dock.Box,
 	defer ws.Put(entry)
 	defer ws.Put(probe)
 	b := ws.Batch()
+	defer b.ClearWindow()
 	febs := ws.Floats(nProbes)
+	arcMax, arcMean := lig.ArcRadii()
 	tol := e.Precision == dock.PrecisionTolerance
 	curFeb := s.Score(ws.Coords(*cur))
 	step := 1.0
 	for step > 0.12 {
 		axis := chem.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
 		entry.Set(*cur)
+		// One incumbent-anchored window per scale pass: every probe
+		// perturbs exactly one coordinate of the pass-entry pose, so the
+		// window's displacement bound is the MAX of the per-coordinate
+		// bounds — ±step translations (box clamping is non-expansive:
+		// entry sits inside the box, so the projection only shrinks the
+		// move), ±step·0.4 rotations levering the anchor radius, and
+		// ±step·0.5 single-torsion probes levering that torsion's arc
+		// radii. The arc radii are base-conformation estimates; a probe
+		// that outruns them fails WindowValid and is scored through the
+		// per-pose gather, so the trajectory stays bit-identical either
+		// way.
+		radius := b.SetWindow(*entry)
+		bound := chem.DisplacementBound(step, 0, 0, radius, arcMax, arcMean)
+		if d := chem.DisplacementBound(0, step*0.4, 0, radius, arcMax, arcMean); d > bound {
+			bound = d
+		}
+		for k := range arcMax {
+			if d := step * 0.5 * (arcMax[k] + arcMean[k]); d > bound {
+				bound = d
+			}
+		}
+		b.SetWindowBound(bound)
 		improved := false
 		for base := 0; base < nProbes && !improved; base += chunk {
 			end := base + chunk

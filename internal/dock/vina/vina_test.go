@@ -12,12 +12,21 @@ import (
 
 func setupPair(t testing.TB, recCode, ligCode string) (*chem.Molecule, *dock.Ligand) {
 	t.Helper()
-	rec, _ := data.GenerateReceptor(recCode)
+	var rec, raw *chem.Molecule
+	if recCode == data.LargeReceptorCode {
+		rec, _ = data.GenerateLargeReceptor()
+	} else {
+		rec, _ = data.GenerateReceptor(recCode)
+	}
+	if ligCode == data.LargeLigandCode {
+		raw, _ = data.GenerateLargeLigand()
+	} else {
+		raw, _ = data.GenerateLigand(ligCode)
+	}
 	prec, err := prep.PrepareReceptor(rec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, _ := data.GenerateLigand(ligCode)
 	mol2, err := prep.ConvertSDFToMol2(raw)
 	if err != nil {
 		t.Fatal(err)

@@ -68,19 +68,26 @@ func TestKernelsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sweepNames := func(prefix string) []string {
+		return []string{
+			prefix + "_score_per_pose", prefix + "_score_batch1", prefix + "_score_batch8",
+			prefix + "_score_batch16", prefix + "_score_batch50", prefix + "_score_batch150",
+			prefix + "_score_fast_batch1", prefix + "_score_fast_batch8",
+			prefix + "_score_fast_batch16", prefix + "_score_fast_batch50", prefix + "_score_fast_batch150",
+			prefix + "_score_per_pose_winpop",
+			prefix + "_score_batch50_winpop", prefix + "_score_fast_batch50_winpop",
+			prefix + "_score_batch50_window", prefix + "_score_fast_batch50_window",
+		}
+	}
 	want := []string{
 		"grid_generate_reference", "grid_generate_tables_1w", "grid_generate_tables_allcores",
 		"vina_score_analytic", "vina_score_tables",
 		"ad4_score_analytic", "ad4_score_tables",
-		"vina_score_per_pose", "vina_score_batch1", "vina_score_batch8",
-		"vina_score_batch16", "vina_score_batch50", "vina_score_batch150",
-		"vina_score_fast_batch1", "vina_score_fast_batch8",
-		"vina_score_fast_batch16", "vina_score_fast_batch50", "vina_score_fast_batch150",
-		"ad4_score_per_pose", "ad4_score_batch1", "ad4_score_batch8",
-		"ad4_score_batch16", "ad4_score_batch50", "ad4_score_batch150",
-		"ad4_score_fast_batch1", "ad4_score_fast_batch8",
-		"ad4_score_fast_batch16", "ad4_score_fast_batch50", "ad4_score_fast_batch150",
 	}
+	want = append(want, sweepNames("vina")...)
+	want = append(want, sweepNames("ad4")...)
+	want = append(want, sweepNames("large_vina")...)
+	want = append(want, sweepNames("large_ad4")...)
 	if len(rep.Benchmarks) != len(want) {
 		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(want))
 	}
@@ -98,10 +105,20 @@ func TestKernelsQuick(t *testing.T) {
 		if !table && b.Speedup != 0 {
 			t.Errorf("%s: baseline has speedup %v", b.Name, b.Speedup)
 		}
+		if b.Workload != "reference" && b.Workload != "large" {
+			t.Errorf("%s: workload tag %q", b.Name, b.Workload)
+		}
+		if strings.HasPrefix(b.Name, "large_") != (b.Workload == "large") {
+			t.Errorf("%s: workload tag %q does not match name", b.Name, b.Workload)
+		}
 		switch {
 		case strings.Contains(b.Name, "_batch"):
 			if b.BatchSize <= 0 || b.NsPerPose <= 0 || b.SpeedupVsPerPose <= 0 {
 				t.Errorf("%s: incomplete batch cell %+v", b.Name, b)
+			}
+			if b.MedianNsPerPose < b.NsPerPose {
+				t.Errorf("%s: median ns/pose %v below min-round ns/pose %v",
+					b.Name, b.MedianNsPerPose, b.NsPerPose)
 			}
 			fast := strings.Contains(b.Name, "_fast_")
 			if fast != (b.Precision == "tolerance") {
@@ -109,6 +126,10 @@ func TestKernelsQuick(t *testing.T) {
 			}
 			if fast && b.MaxBoundExcess > 0 {
 				t.Errorf("%s: tolerance envelope violated by %g", b.Name, b.MaxBoundExcess)
+			}
+			if strings.HasSuffix(b.Name, "_window") != (b.SpeedupVsBatch > 0) {
+				t.Errorf("%s: speedup_vs_batch %v does not match window naming",
+					b.Name, b.SpeedupVsBatch)
 			}
 		case strings.Contains(b.Name, "per_pose"):
 			if b.NsPerPose <= 0 || b.BatchSize != 0 || b.SpeedupVsPerPose != 0 {
@@ -120,6 +141,24 @@ func TestKernelsQuick(t *testing.T) {
 			}
 		}
 	}
+	if len(rep.Workloads) != 2 || rep.Workloads[0].Name != "reference" || rep.Workloads[1].Name != "large" {
+		t.Fatalf("workload metadata = %+v, want reference + large", rep.Workloads)
+	}
+	for _, w := range rep.Workloads {
+		if w.ReceptorAtoms <= 0 || w.LigandAtoms <= 0 || w.AD4TypeCount <= 0 || w.Torsions < 0 ||
+			w.VinaExactTableBytes <= 0 || w.VinaFastTableBytes <= 0 ||
+			w.AD4ExactTableBytes <= 0 || w.AD4FastTableBytes <= 0 {
+			t.Errorf("workload %s: incomplete metadata %+v", w.Name, w)
+		}
+	}
+	lw := rep.Workloads[1]
+	if lw.LigandAtoms < 120 || lw.AD4TypeCount < 14 || lw.Torsions < 12 {
+		t.Errorf("large workload shape %+v misses the L2-overflow contract (>=120 atoms, >=14 types, >=12 torsions)", lw)
+	}
+	if lw.VinaExactTableBytes <= rep.Workloads[0].VinaExactTableBytes {
+		t.Errorf("large vina exact working set (%d B) not larger than reference (%d B)",
+			lw.VinaExactTableBytes, rep.Workloads[0].VinaExactTableBytes)
+	}
 	if rep.Note == "" {
 		t.Error("report note (1-CPU measurement caveat) missing")
 	}
@@ -128,7 +167,9 @@ func TestKernelsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"ns_per_op", "allocs_per_op", "speedup_vs_analytic",
-		"gomaxprocs", "batch_size", "ns_per_pose", "speedup_vs_per_pose", "note"} {
+		"gomaxprocs", "batch_size", "ns_per_pose", "speedup_vs_per_pose", "note",
+		"median_ns_per_pose", "speedup_vs_batch", "workloads", "vina_exact_table_bytes",
+		"ad4_exact_table_bytes", "ad4_type_count"} {
 		if !strings.Contains(string(js), key) {
 			t.Errorf("JSON missing %q", key)
 		}

@@ -215,3 +215,23 @@ func ScoreWindowFast(out []float32, terms []float64) {
 	}
 	out[0] = acc
 }
+
+// WindowGatherCount is the unit-correct window admission loop: the
+// squared displacement is compared against the squared bound, so both
+// sides of the test carry Å² — the disciplined counterpart of the sick
+// fixture's Å-vs-Å² admission swap.
+//
+//unit: bound=Å
+func WindowGatherCount(xs, ys, zs, ax, ay, az []float64, bound float64) int {
+	n := 0
+	for k := range xs {
+		dx := soaLane(xs, k) - soaLane(ax, k)
+		dy := soaLane(ys, k) - soaLane(ay, k)
+		dz := soaLane(zs, k) - soaLane(az, k)
+		d2 := dx*dx + dy*dy + dz*dz
+		if d2 <= bound*bound {
+			n++
+		}
+	}
+	return n
+}

@@ -206,3 +206,25 @@ func ScoreWindowExact(out []float64, terms []float64) {
 	}
 	out[0] = float64(acc)
 }
+
+// WindowGatherCount mirrors the incumbent-anchored gather admission
+// test: it compares each atom's squared displacement from the window
+// anchor against the plain Å displacement bound — Å² against Å, the
+// swap that silently admits almost every pose once the bound drops
+// below 1 Å and quietly widens the shared gather above it
+// (dimcheck, warn).
+//
+//unit: bound=Å
+func WindowGatherCount(xs, ys, zs, ax, ay, az []float64, bound float64) int {
+	n := 0
+	for k := range xs {
+		dx := soaLane(xs, k) - soaLane(ax, k)
+		dy := soaLane(ys, k) - soaLane(ay, k)
+		dz := soaLane(zs, k) - soaLane(az, k)
+		d2 := dx*dx + dy*dy + dz*dz
+		if d2 <= bound {
+			n++
+		}
+	}
+	return n
+}

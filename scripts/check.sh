@@ -37,6 +37,23 @@ go test -run '^$' -bench . -benchtime=1x \
 	./internal/grid ./internal/dock \
 	./internal/dock/tables ./internal/dock/vina ./internal/dock/ad4
 
+# The large-pair windowed kernels run through dedicated benchmarks so
+# the L2-overflow workload's window path is exercised end to end even
+# when the full two-workload sweep isn't regenerated.
+echo "==> large-pair window kernel smoke (-benchtime=1x)"
+go test -run '^$' -bench 'WindowScoreBatch.*Large' -benchtime=1x \
+	./internal/dock/vina ./internal/dock/ad4
+
+# The synthetic dataset generator must be deterministic: two
+# generations into fresh directories are byte-identical, including the
+# -large L2-overflow pair.
+echo "==> gendata determinism (two generations byte-identical)"
+gen_a=$(mktemp -d) && gen_b=$(mktemp -d)
+go run ./cmd/gendata -out "$gen_a" -receptors 3 -ligands 2 -large
+go run ./cmd/gendata -out "$gen_b" -receptors 3 -ligands 2 -large
+diff -r "$gen_a" "$gen_b" || { echo "check: gendata output differs between runs" >&2; exit 1; }
+rm -rf "$gen_a" "$gen_b"
+
 echo "==> search benchmark smoke (dockbench -exp search -quick)"
 go run ./cmd/dockbench -exp search -quick -benchout ''
 
